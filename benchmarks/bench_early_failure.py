@@ -1,0 +1,88 @@
+"""Ablation B: early failure detection (paper §5.4).
+
+HSIS assumes verification runs mostly on *failing* properties and checks
+for violations on reachability frontiers before the full fair-path
+computation.  This bench seeds safety bugs of increasing depth into a
+pipeline design and measures language containment with early failure
+detection on vs off, plus the invariance fast path of the model checker
+(technique 1 applied to CTL).
+"""
+
+import pytest
+
+from repro import SymbolicFsm, compile_verilog, flatten
+from repro.automata import Automaton, atom
+from repro.ctl import ModelChecker
+from repro.lc import check_containment
+
+
+def pipeline_with_bug(depth: int) -> str:
+    """A token pipeline that raises 'alarm' when the token reaches the
+    last stage — a bug 'depth' reachability steps deep."""
+    regs = ", ".join(f"st{i}" for i in range(depth + 1))
+    lines = [
+        "module pipe;",
+        f"  reg {regs};",
+        "  wire alarm;",
+        "  initial st0 = 1;",
+    ]
+    for i in range(1, depth + 1):
+        lines.append(f"  initial st{i} = 0;")
+    lines.append("  always @(posedge clk) st0 <= 0;")
+    for i in range(1, depth + 1):
+        lines.append(f"  always @(posedge clk) st{i} <= st{i - 1};")
+    lines.append(f"  assign alarm = st{depth};")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def no_alarm_automaton() -> Automaton:
+    aut = Automaton(name="no_alarm", states=["A", "B"], initial=["A"])
+    aut.add_edge("A", "A", ~atom("alarm", "1"))
+    aut.add_edge("A", "B", atom("alarm", "1"))
+    aut.add_edge("B", "B")
+    aut.accept_invariance(["A"])
+    return aut
+
+
+DEPTHS = (4, 10, 16)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.parametrize("early", [True, False], ids=["efd-on", "efd-off"])
+def test_lc_early_failure(benchmark, depth, early, results_collector):
+    model = flatten(compile_verilog(pipeline_with_bug(depth)))
+
+    def run():
+        return check_containment(
+            SymbolicFsm(model), no_alarm_automaton(),
+            early_fail=early, early_fail_interval=1)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not result.holds
+    assert result.early_failure is early
+    results_collector("early_failure", f"depth={depth}/{'on' if early else 'off'}", {
+        "seconds": benchmark.stats["mean"],
+        "found_early": result.early_failure,
+    })
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_mc_frontier_check(benchmark, depth, results_collector):
+    """Technique 1 for model checking: the AG fast path stops at the
+    first frontier containing a violation."""
+    model = flatten(compile_verilog(pipeline_with_bug(depth)))
+
+    def run():
+        fsm = SymbolicFsm(model)
+        fsm.build_transition()
+        return ModelChecker(fsm).check("AG !(alarm=1)")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not result.holds
+    assert result.used_fast_path
+    assert result.counterexample_depth == depth
+    results_collector("early_failure", f"depth={depth}/mc-fast-path", {
+        "seconds": benchmark.stats["mean"],
+        "cex_depth": result.counterexample_depth,
+    })

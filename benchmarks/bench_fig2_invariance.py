@@ -1,0 +1,95 @@
+"""Figure 2 reproduction: the invariance property, LC vs CTL.
+
+Figure 2 of the paper shows the automaton checking "out1 and out2 are
+never asserted at the same time"; §5.2 states the same property as the
+CTL formula AG !(out1 & out2) and observes (item 3) that the model
+checker is *faster for invariance properties* because of the dedicated
+fast path, while language containment is faster in general.
+
+This bench builds the two-writer bus from the figure's discussion and
+measures the same property both ways, in passing and failing variants.
+"""
+
+import pytest
+
+from repro import SymbolicFsm, compile_verilog, flatten
+from repro.automata import Automaton, atom
+from repro.ctl import ModelChecker, parse_ctl
+from repro.lc import check_containment
+
+GOOD = """
+module bus;
+  reg tok; initial tok = 0;
+  wire out1, out2, pass;
+  assign pass = $ND(0, 1);
+  always @(posedge clk) tok <= pass ? !tok : tok;
+  assign out1 = !tok;
+  assign out2 = tok;
+endmodule
+"""
+
+BAD = """
+module bus;
+  reg o1, o2; initial o1 = 0; initial o2 = 0;
+  wire r1, r2;
+  assign r1 = $ND(0, 1);
+  assign r2 = $ND(0, 1);
+  always @(posedge clk) o1 <= r1;
+  always @(posedge clk) o2 <= r2;
+  wire out1, out2;
+  assign out1 = o1;
+  assign out2 = o2;
+endmodule
+"""
+
+
+def figure2_automaton():
+    violation = atom("out1", "1") & atom("out2", "1")
+    aut = Automaton(name="fig2", states=["A", "B"], initial=["A"])
+    aut.add_edge("A", "A", ~violation)
+    aut.add_edge("A", "B", violation)
+    aut.add_edge("B", "B")
+    aut.accept_invariance(["A"])  # the dotted box around state A
+    return aut
+
+
+FORMULA = "AG !(out1=1 & out2=1)"
+
+
+@pytest.mark.parametrize("variant,source,expected", [
+    ("holds", GOOD, True),
+    ("fails", BAD, False),
+], ids=["holds", "fails"])
+def test_lc_figure2(benchmark, variant, source, expected, results_collector):
+    model = flatten(compile_verilog(source))
+
+    def run():
+        return check_containment(SymbolicFsm(model), figure2_automaton())
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.holds is expected
+    results_collector("fig2_invariance", f"lc/{variant}", {
+        "seconds": benchmark.stats["mean"],
+        "verdict": "pass" if result.holds else "FAIL",
+    })
+
+
+@pytest.mark.parametrize("variant,source,expected", [
+    ("holds", GOOD, True),
+    ("fails", BAD, False),
+], ids=["holds", "fails"])
+def test_mc_figure2(benchmark, variant, source, expected, results_collector):
+    model = flatten(compile_verilog(source))
+
+    def run():
+        fsm = SymbolicFsm(model)
+        fsm.build_transition()
+        return ModelChecker(fsm).check(FORMULA)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.holds is expected
+    assert result.used_fast_path
+    results_collector("fig2_invariance", f"mc/{variant}", {
+        "seconds": benchmark.stats["mean"],
+        "verdict": "pass" if result.holds else "FAIL",
+    })

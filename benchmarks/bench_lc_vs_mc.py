@@ -1,0 +1,71 @@
+"""Ablation D: language containment vs CTL model checking (paper §5.2).
+
+The paper's experience: "it appears that language containment is faster
+in general.  However, CTL model checking is more efficient for
+invariance properties, since we have optimized the model checker with
+respect to these properties."  This bench states the same safety
+property both ways on each Table-1 design and times the two engines.
+"""
+
+import pytest
+
+from repro.automata import Automaton
+from repro.ctl import ModelChecker, parse_ctl
+from repro.lc import check_containment
+from repro.models import dcnew, gigamax, philos, pingpong
+from repro.network import SymbolicFsm
+from repro.pif import formula_to_guard
+
+# design -> the invariance body checked both ways
+CASES = {
+    "philos": (philos.spec, {"n": 2}, "!(phil0=eating & phil1=eating)"),
+    "pingpong": (pingpong.spec, {}, "!(ping_now=1 & pong_now=1)"),
+    "gigamax": (gigamax.spec, {"n": 3}, "!(cache0=own & cache1=own)"),
+    "dcnew": (dcnew.spec, {"n": 3, "width": 4},
+              "!(node0=master & node1=master)"),
+}
+
+
+def invariance_automaton(body: str) -> Automaton:
+    good = formula_to_guard(parse_ctl(body))
+    aut = Automaton(name="inv", states=["A", "B"], initial=["A"])
+    aut.add_edge("A", "A", good)
+    aut.add_edge("A", "B", ~good)
+    aut.add_edge("B", "B")
+    aut.accept_invariance(["A"])
+    return aut
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_mc_invariance(benchmark, case, results_collector):
+    builder, kwargs, body = CASES[case]
+    spec = builder(**kwargs)
+    flat = spec.flat()
+
+    def run():
+        fsm = SymbolicFsm(flat)
+        fsm.build_transition()
+        return ModelChecker(fsm).check(f"AG ({body})")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.holds
+    results_collector("lc_vs_mc", f"{case}/mc", {
+        "seconds": benchmark.stats["mean"],
+    })
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_lc_invariance(benchmark, case, results_collector):
+    builder, kwargs, body = CASES[case]
+    spec = builder(**kwargs)
+    flat = spec.flat()
+    automaton = invariance_automaton(body)
+
+    def run():
+        return check_containment(SymbolicFsm(flat), automaton)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.holds
+    results_collector("lc_vs_mc", f"{case}/lc", {
+        "seconds": benchmark.stats["mean"],
+    })

@@ -1,0 +1,107 @@
+"""Figure 1 reproduction: the end-to-end HSIS flow as one measured unit.
+
+Verilog -> (vl2mv) -> BLIF-MV -> flatten -> encode -> PIF -> model
+checking + language containment -> bug report -> debugger.  The bench
+measures each stage separately on the gigamax design so the cost profile
+of the pipeline (the paper's Figure 1) is visible.
+"""
+
+import pytest
+
+from repro.blifmv import flatten, parse, write
+from repro.ctl import ModelChecker
+from repro.debug import lc_counterexample
+from repro.lc import check_containment
+from repro.models import gigamax, philos
+from repro.network import SymbolicFsm
+from repro.pif import parse_pif
+from repro.verilog import compile_verilog
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return gigamax.verilog(3), gigamax.pif(3)
+
+
+def test_stage_vl2mv(benchmark, sources, results_collector):
+    verilog_text, _ = sources
+    design = benchmark(compile_verilog, verilog_text)
+    assert design.root == "gigamax"
+    results_collector("pipeline", "1:vl2mv", {"seconds": benchmark.stats["mean"]})
+
+
+def test_stage_blifmv_roundtrip(benchmark, sources, results_collector):
+    verilog_text, _ = sources
+    text = write(compile_verilog(verilog_text))
+
+    design = benchmark(parse, text)
+    assert design.root_model()
+    results_collector("pipeline", "2:parse_blifmv",
+                      {"seconds": benchmark.stats["mean"]})
+
+
+def test_stage_encode_and_tr(benchmark, sources, results_collector):
+    verilog_text, _ = sources
+    flat = flatten(compile_verilog(verilog_text))
+
+    def encode():
+        fsm = SymbolicFsm(flat)
+        fsm.build_transition()
+        return fsm
+
+    fsm = benchmark.pedantic(encode, rounds=3, iterations=1)
+    assert fsm.trans is not None
+    results_collector("pipeline", "3:encode+tr",
+                      {"seconds": benchmark.stats["mean"]})
+
+
+def test_stage_pif(benchmark, sources, results_collector):
+    _, pif_text = sources
+    pif = benchmark(parse_pif, pif_text)
+    assert pif.ctl_props
+    results_collector("pipeline", "4:parse_pif",
+                      {"seconds": benchmark.stats["mean"]})
+
+
+def test_stage_verify(benchmark, sources, results_collector):
+    verilog_text, pif_text = sources
+    flat = flatten(compile_verilog(verilog_text))
+    pif = parse_pif(pif_text)
+
+    def verify():
+        fsm = SymbolicFsm(flat)
+        fsm.build_transition()
+        reach = fsm.reachable()
+        checker = ModelChecker(fsm, reached=reach.reached)
+        mc = [checker.check(f).holds for _n, f in pif.ctl_props]
+        lc_fsm = SymbolicFsm(flat)
+        lc = check_containment(lc_fsm, pif.automata[0])
+        return mc, lc
+
+    mc, lc = benchmark.pedantic(verify, rounds=1, iterations=1)
+    assert all(mc) and lc.holds
+    results_collector("pipeline", "5:verify",
+                      {"seconds": benchmark.stats["mean"]})
+
+
+def test_stage_debugger_on_failure(benchmark, results_collector):
+    """Bug report + debugger stage, on a philosopher liveness failure."""
+    spec = philos.spec(2)
+    # the liveness property below fails (starvation is possible without
+    # fairness), producing a debugger trace
+    from repro.automata import Automaton, atom
+    recur = Automaton(name="eats", states=["W", "E"], initial=["W"])
+    recur.add_edge("W", "E", atom("phil0", "eating"))
+    recur.add_edge("W", "W", ~atom("phil0", "eating"))
+    recur.add_edge("E", "E", atom("phil0", "eating"))
+    recur.add_edge("E", "W", ~atom("phil0", "eating"))
+    recur.accept_recurrence([("W", "E"), ("E", "E")])
+    result = check_containment(SymbolicFsm(spec.flat()), recur)
+    assert not result.holds
+
+    trace = benchmark.pedantic(
+        lambda: lc_counterexample(result), rounds=3, iterations=1)
+    assert trace.cycle
+    results_collector("pipeline", "6:debugger",
+                      {"seconds": benchmark.stats["mean"],
+                       "trace_len": len(trace)})

@@ -1,0 +1,72 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench module measures one experiment of DESIGN.md's index and
+registers its rows with the collector below; at the end of the session
+the reproduced tables are printed and written to
+``benchmarks/results.json`` (EXPERIMENTS.md is curated from that file).
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+_RESULTS = {}
+
+
+def record(experiment: str, key: str, values: dict) -> None:
+    """Register (merge) one measured row for an experiment table."""
+    _RESULTS.setdefault(experiment, {}).setdefault(key, {}).update(values)
+
+
+@pytest.fixture(scope="session")
+def results_collector():
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    path = os.path.join(os.path.dirname(__file__), "results.json")
+    # Merge with previous runs so partial bench invocations accumulate.
+    previous = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                previous = json.load(handle)
+        except (ValueError, OSError):
+            previous = {}
+    for experiment, rows in _RESULTS.items():
+        for key, values in rows.items():
+            previous.setdefault(experiment, {}).setdefault(key, {}).update(values)
+    with open(path, "w") as handle:
+        json.dump(previous, handle, indent=2, sort_keys=True)
+
+    out = session.config.get_terminal_writer()
+    for experiment in sorted(_RESULTS):
+        rows = _RESULTS[experiment]
+        out.line("")
+        out.sep("=", f"reproduced results: {experiment}")
+        keys = sorted(rows)
+        columns = sorted({c for row in rows.values() for c in row})
+        header = f"{'case':<24}" + "".join(f"{c:>16}" for c in columns)
+        out.line(header)
+        for key in keys:
+            row = rows[key]
+            cells = "".join(
+                f"{_fmt(row.get(c, '')):>16}" for c in columns
+            )
+            out.line(f"{key:<24}" + cells)
+    out.line("")
+    out.line(f"(rows merged into {path})")
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,42 @@
+"""The paper's Table 1 (DAC 1994), for paper-vs-measured comparison.
+
+Times are seconds on a DECsystem 5900/260 with 440MB of memory, running
+the original C implementation; our measurements come from a pure-Python
+reimplementation, so only the *shape* (which designs are big/slow, rough
+ratios) is expected to transfer.
+"""
+
+PAPER_TABLE1 = {
+    "philos": {
+        "verilog_lines": 120, "blifmv_lines": 549, "read_s": 0.0,
+        "states": 18, "lc_props": 2, "lc_s": 0.1, "ctl_props": 2, "mc_s": 0.1,
+    },
+    "ping pong": {
+        "verilog_lines": 69, "blifmv_lines": 163, "read_s": 0.1,
+        "states": 3, "lc_props": 6, "lc_s": 0.0, "ctl_props": 6, "mc_s": 0.0,
+    },
+    "gigamax": {
+        "verilog_lines": 269, "blifmv_lines": 1650, "read_s": 4.2,
+        "states": 630, "lc_props": 1, "lc_s": 3.1, "ctl_props": 9, "mc_s": 5.3,
+    },
+    "scheduler": {
+        "verilog_lines": 207, "blifmv_lines": 909, "read_s": 3.7,
+        "states": 2706604, "lc_props": 2, "lc_s": 8.4, "ctl_props": 1,
+        "mc_s": 4.3,
+    },
+    "dcnew": {
+        "verilog_lines": 325, "blifmv_lines": 2618, "read_s": 5.3,
+        "states": 213841, "lc_props": 1, "lc_s": 0.3, "ctl_props": 7,
+        "mc_s": 1.8,
+    },
+    "2mdlc": {
+        "verilog_lines": 355, "blifmv_lines": 18498, "read_s": 105.9,
+        "states": 65958, "lc_props": 1, "lc_s": 21.5, "ctl_props": 1,
+        "mc_s": 521.4,
+    },
+}
+
+COLUMNS = [
+    "verilog_lines", "blifmv_lines", "read_s", "states",
+    "lc_props", "lc_s", "ctl_props", "mc_s",
+]

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: the full HSIS flow of Figure 1 on a small bus arbiter.
+
+Verilog is compiled to BLIF-MV (vl2mv), properties come from a PIF
+description, the design is verified by both the CTL model checker and
+the language-containment checker, and a failing property produces an
+error trace — the "intelligent simulator" experience the paper closes
+with: instead of the user conceiving an input sequence that reveals the
+bug, the tool hands the sequence to the user.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SymbolicFsm, compile_verilog, flatten, parse_pif
+from repro.ctl import ModelChecker
+from repro.debug import CtlDebugger, format_lc_report
+from repro.lc import check_containment
+
+# A two-client bus arbiter with a seeded bug: on simultaneous requests
+# both grants are asserted (the designer forgot the priority case).
+VERILOG = r"""
+module arbiter;
+  reg g1, g2;
+  wire r1, r2;
+  initial g1 = 0;
+  initial g2 = 0;
+
+  // the environment may request at any time (non-determinism, paper
+  // section 3): a closed system needs no external inputs
+  assign r1 = $ND(0, 1);
+  assign r2 = $ND(0, 1);
+
+  always @(posedge clk) begin
+    g1 <= r1;                 // BUG: should be r1 && !r2 (priority)
+  end
+  always @(posedge clk) begin
+    g2 <= r2;
+  end
+endmodule
+"""
+
+# Properties in the Property Intermediate Format: a CTL formula and the
+# equivalent Figure-2 style invariance automaton.
+PIF = """
+ctl mutual_exclusion :: AG !(g1=1 & g2=1)
+
+automaton lc_mutual_exclusion
+  states GOOD BAD
+  initial GOOD
+  edge GOOD GOOD :: !(g1=1 & g2=1)
+  edge GOOD BAD  :: g1=1 & g2=1
+  edge BAD BAD
+  accept invariance GOOD
+end
+"""
+
+
+def main() -> None:
+    print("=== HSIS quickstart: Verilog -> BLIF-MV -> verify -> debug ===\n")
+
+    print("* compiling Verilog with vl2mv...")
+    design = compile_verilog(VERILOG)
+    model = flatten(design)
+    print(f"  model {model.name!r}: {len(model.latches)} latches, "
+          f"{len(model.tables)} tables")
+
+    print("* reading properties (PIF)...")
+    pif = parse_pif(PIF)
+
+    print("* building the product transition relation "
+          "(greedy early quantification)...")
+    fsm = SymbolicFsm(model)
+    fsm.build_transition(method="greedy")
+    reach = fsm.reachable()
+    print(f"  reached {fsm.count_states(reach.reached)} states in "
+          f"{reach.iterations} iterations")
+
+    print("\n--- CTL model checking ---")
+    checker = ModelChecker(fsm, reached=reach.reached)
+    name, formula = pif.ctl_props[0]
+    result = checker.check(formula)
+    print(f"  {name}: {'PASS' if result.holds else 'FAIL'}   [{formula}]")
+    if not result.holds:
+        print("\n  interactive debugger (formula unfolding, paper section 6.2):")
+        debugger = CtlDebugger(checker)
+        print("  " + debugger.explain(formula).format().replace("\n", "\n  "))
+
+    print("\n--- language containment ---")
+    lc_fsm = SymbolicFsm(flatten(design))
+    lc = check_containment(lc_fsm, pif.automaton("lc_mutual_exclusion"))
+    print("  " + format_lc_report(lc).replace("\n", "\n  "))
+
+    print("\nBoth checkers found the bug; the traces above show the exact")
+    print("request sequence that asserts g1 and g2 together.  Fix the")
+    print("arbiter (g1 <= r1 && !r2) and both properties pass.")
+
+
+if __name__ == "__main__":
+    main()

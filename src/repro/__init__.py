@@ -1,0 +1,103 @@
+"""repro — HSIS: A BDD-Based Environment for Formal Verification.
+
+A from-scratch Python reproduction of the HSIS system (Aziz et al.,
+DAC 1994): the BLIF-MV intermediate format, a Verilog front end (vl2mv),
+a pure-Python BDD/MDD package, fair CTL model checking, ω-automata
+language containment with edge-Streett/edge-Rabin fairness, early
+quantification, early failure detection, error-trace debugging,
+bisimulation minimization and a state-based simulator.
+
+Quickstart::
+
+    from repro import compile_verilog, flatten, SymbolicFsm, check_ctl
+
+    design = compile_verilog(open("design.v").read())
+    fsm = SymbolicFsm(flatten(design))
+    result = check_ctl(fsm, "AG !(out1=1 & out2=1)")
+    assert result.holds
+"""
+
+from repro.bdd import BDD, MddManager, MvVar
+from repro.blifmv import Design, Model, flatten, parse, parse_file, write
+from repro.verilog import compile_verilog, parse_verilog
+from repro.network import SymbolicFsm, compose, multiply_and_quantify
+from repro.automata import (
+    Automaton,
+    BuchiEdge,
+    BuchiState,
+    FairnessSpec,
+    NegativeStateSet,
+    RabinPair,
+    StreettPair,
+    atom as guard_atom,
+    attach,
+)
+from repro.ctl import ModelChecker, check_ctl, parse_ctl
+from repro.lc import check_containment, language_empty
+from repro.debug import CtlDebugger, format_lc_report, lc_counterexample
+from repro.sim import Simulator
+from repro.minimize import bisimulation_partition, minimize_with_reached
+from repro.pif import parse_pif, parse_pif_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDD",
+    "MddManager",
+    "MvVar",
+    "Design",
+    "Model",
+    "flatten",
+    "parse",
+    "parse_file",
+    "write",
+    "compile_verilog",
+    "parse_verilog",
+    "SymbolicFsm",
+    "compose",
+    "multiply_and_quantify",
+    "Automaton",
+    "BuchiEdge",
+    "BuchiState",
+    "FairnessSpec",
+    "NegativeStateSet",
+    "RabinPair",
+    "StreettPair",
+    "guard_atom",
+    "attach",
+    "ModelChecker",
+    "check_ctl",
+    "parse_ctl",
+    "check_containment",
+    "language_empty",
+    "CtlDebugger",
+    "format_lc_report",
+    "lc_counterexample",
+    "Simulator",
+    "bisimulation_partition",
+    "minimize_with_reached",
+    "parse_pif",
+    "parse_pif_file",
+    "__version__",
+]
+
+from repro.network import (
+    DelayBound,
+    bounded_response_automaton,
+    cone_of_influence,
+    elaborate_delays,
+    freeing_abstraction,
+)
+from repro.refine import RefinementResult, check_refinement
+from repro.pif import instantiate as property_template
+
+__all__ += [
+    "DelayBound",
+    "bounded_response_automaton",
+    "cone_of_influence",
+    "elaborate_delays",
+    "freeing_abstraction",
+    "RefinementResult",
+    "check_refinement",
+    "property_template",
+]

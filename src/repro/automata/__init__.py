@@ -1,0 +1,52 @@
+"""Property automata and fairness constraints (the edge-Streett/edge-Rabin
+environment of HSIS §5.1-5.2)."""
+
+from repro.automata.automaton import (
+    AttachedMonitor,
+    Automaton,
+    AutomatonError,
+    Edge,
+    GAnd,
+    GAtom,
+    GNot,
+    GOr,
+    GTrue,
+    Guard,
+    TRUE_GUARD,
+    atom,
+    attach,
+)
+from repro.automata.fairness import (
+    BuchiEdge,
+    BuchiState,
+    FairnessSpec,
+    NegativeStateSet,
+    NormalizedFairness,
+    RabinPair,
+    StreettPair,
+    complement_rabin,
+)
+
+__all__ = [
+    "AttachedMonitor",
+    "Automaton",
+    "AutomatonError",
+    "Edge",
+    "GAnd",
+    "GAtom",
+    "GNot",
+    "GOr",
+    "GTrue",
+    "Guard",
+    "TRUE_GUARD",
+    "atom",
+    "attach",
+    "BuchiEdge",
+    "BuchiState",
+    "FairnessSpec",
+    "NegativeStateSet",
+    "NormalizedFairness",
+    "RabinPair",
+    "StreettPair",
+    "complement_rabin",
+]

@@ -1,0 +1,88 @@
+"""Export and inspection helpers for BDDs (Graphviz dot, level profiles)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+
+
+def to_dot(bdd: BDD, roots: Mapping[str, int]) -> str:
+    """Render the DAG of ``roots`` as a Graphviz ``dot`` string.
+
+    Solid edges are high (then) branches, dashed edges low (else)
+    branches — the conventional BDD drawing.
+    """
+    lines = [
+        "digraph bdd {",
+        '  rankdir=TB;',
+        '  node [shape=circle];',
+        '  f0 [label="0", shape=box];',
+        '  f1 [label="1", shape=box];',
+    ]
+    seen = set()
+    stack = []
+    for name, root in roots.items():
+        target = _dot_id(root)
+        lines.append(f'  root_{_sanitize(name)} [label="{name}", shape=plaintext];')
+        lines.append(f"  root_{_sanitize(name)} -> {target};")
+        stack.append(root)
+    while stack:
+        n = stack.pop()
+        if n in (FALSE, TRUE) or n in seen:
+            continue
+        seen.add(n)
+        var_name = bdd.var_name(bdd._var[n])
+        lines.append(f'  n{n} [label="{var_name}"];')
+        lo, hi = bdd._lo[n], bdd._hi[n]
+        lines.append(f"  n{n} -> {_dot_id(lo)} [style=dashed];")
+        lines.append(f"  n{n} -> {_dot_id(hi)};")
+        stack.append(lo)
+        stack.append(hi)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_id(node: int) -> str:
+    if node == FALSE:
+        return "f0"
+    if node == TRUE:
+        return "f1"
+    return f"n{node}"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name)
+
+
+def level_profile(bdd: BDD, roots: Iterable[int]) -> Dict[int, int]:
+    """Node count per level for the DAG rooted at ``roots``.
+
+    Useful to spot where a bad variable order blows up.
+    """
+    counts: Dict[int, int] = {}
+    seen = set()
+    stack = list(roots)
+    while stack:
+        n = stack.pop()
+        if n in (FALSE, TRUE) or n in seen:
+            continue
+        seen.add(n)
+        level = bdd.level(bdd._var[n])
+        counts[level] = counts.get(level, 0) + 1
+        stack.append(bdd._lo[n])
+        stack.append(bdd._hi[n])
+    return dict(sorted(counts.items()))
+
+
+def summarize(bdd: BDD, roots: Mapping[str, int]) -> str:
+    """One-line-per-root size summary plus manager stats."""
+    lines = []
+    for name, root in sorted(roots.items()):
+        lines.append(f"{name}: {bdd.size(root)} nodes")
+    stats = bdd.stats()
+    lines.append(
+        "manager: {live_nodes} live nodes, {variables} vars, "
+        "{cache_entries} cache entries, {gc_runs} GCs".format(**stats)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,850 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This is the symbolic kernel of the HSIS reproduction.  HSIS (DAC 1994)
+manipulated transition systems implicitly with BDDs in the style of
+Coudert-Madre and SMV; this module provides the same primitives in pure
+Python:
+
+* a unique table guaranteeing canonicity of nodes,
+* a computed cache shared by all operations,
+* the ``ite`` operator and the boolean connectives derived from it,
+* existential/universal quantification and the fused relational product
+  ``and_exists`` (the workhorse of symbolic image computation),
+* variable renaming (for present-state/next-state substitution),
+* functional composition, generalized cofactor (``constrain``) and the
+  Coudert-Madre ``restrict`` don't-care minimizer,
+* satisfiability helpers (counting, cube enumeration, evaluation),
+* a mark-and-sweep garbage collector driven by explicitly registered roots.
+
+Nodes are integers indexing parallel arrays; the constants ``FALSE`` (0)
+and ``TRUE`` (1) are terminals.  Variables are identified by small integer
+indices; the manager's ``order`` maps variables to levels so that static
+reordering (see :mod:`repro.bdd.ordering`) only permutes one array.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+FALSE = 0
+TRUE = 1
+
+_LEAF_LEVEL = 1 << 30
+
+
+class BddError(Exception):
+    """Raised for misuse of the BDD manager (unknown variables, etc.)."""
+
+
+class BDD:
+    """A manager owning a shared pool of ROBDD nodes.
+
+    All functions returned by manager methods are plain ``int`` node
+    handles; they are only meaningful together with the manager that
+    produced them.  Handles stay valid across garbage collections as long
+    as they are reachable from a registered root (see :meth:`gc`).
+    """
+
+    def __init__(self) -> None:
+        # Parallel node arrays.  Index 0 is FALSE, index 1 is TRUE.
+        self._var: List[int] = [-1, -1]
+        self._lo: List[int] = [FALSE, TRUE]
+        self._hi: List[int] = [FALSE, TRUE]
+        # One unique table per variable: (lo, hi) -> node.
+        self._unique: List[Dict[Tuple[int, int], int]] = []
+        self._free: List[int] = []
+        # Computed cache: (op, f, g, h) -> node.
+        self._cache: Dict[Tuple, int] = {}
+        # Variable bookkeeping.
+        self._name_of_var: List[str] = []
+        self._var_of_name: Dict[str, int] = {}
+        self._level_of_var: List[int] = []
+        self._var_at_level: List[int] = []
+        # Externally registered GC roots (name -> node).
+        self._roots: Dict[str, int] = {}
+        self.gc_count = 0
+
+    # ------------------------------------------------------------------
+    # Variables and ordering
+    # ------------------------------------------------------------------
+
+    def add_var(self, name: str, level: Optional[int] = None) -> int:
+        """Declare a new variable, optionally inserted at ``level``.
+
+        Returns the variable index.  By default the variable is appended
+        at the bottom of the current order.
+        """
+        if name in self._var_of_name:
+            raise BddError(f"variable {name!r} already declared")
+        var = len(self._name_of_var)
+        self._name_of_var.append(name)
+        self._var_of_name[name] = var
+        self._unique.append({})
+        if level is None:
+            level = len(self._var_at_level)
+        if not 0 <= level <= len(self._var_at_level):
+            raise BddError(f"level {level} out of range")
+        self._var_at_level.insert(level, var)
+        self._level_of_var.append(0)
+        for lvl, v in enumerate(self._var_at_level):
+            self._level_of_var[v] = lvl
+        if level != len(self._var_at_level) - 1:
+            # Inserting mid-order shifts levels; cached results keyed on
+            # structure stay valid, but level-dependent ops do not cache
+            # levels, so only clear nothing.  (Nodes store variable ids,
+            # not levels, so no node surgery is needed.)
+            pass
+        return var
+
+    @property
+    def var_count(self) -> int:
+        """Number of declared variables."""
+        return len(self._name_of_var)
+
+    def var_index(self, name: str) -> int:
+        """Return the variable index for ``name``."""
+        try:
+            return self._var_of_name[name]
+        except KeyError:
+            raise BddError(f"unknown variable {name!r}") from None
+
+    def var_name(self, var: int) -> str:
+        """Return the name of variable index ``var``."""
+        return self._name_of_var[var]
+
+    def level(self, var: int) -> int:
+        """Return the current level (order position) of variable ``var``."""
+        return self._level_of_var[var]
+
+    def var_at(self, level: int) -> int:
+        """Return the variable currently sitting at ``level``."""
+        return self._var_at_level[level]
+
+    @property
+    def order(self) -> Tuple[int, ...]:
+        """Variables from top level to bottom level."""
+        return tuple(self._var_at_level)
+
+    def set_order(self, order: Sequence[int]) -> None:
+        """Install a new variable order.
+
+        Every declared variable must appear exactly once.  Existing node
+        handles are *not* remapped: callers should re-derive functions or
+        use :meth:`repro.bdd.ordering.reorder` which rebuilds registered
+        roots under the new order.  This method is only safe when the
+        manager holds no live nodes besides constants.
+        """
+        if sorted(order) != list(range(self.var_count)):
+            raise BddError("new order must be a permutation of all variables")
+        if len(self) > 2:
+            raise BddError(
+                "set_order on a non-empty manager would break canonicity; "
+                "use repro.bdd.ordering.reorder instead"
+            )
+        self._var_at_level = list(order)
+        for lvl, v in enumerate(self._var_at_level):
+            self._level_of_var[v] = lvl
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _node_level(self, f: int) -> int:
+        v = self._var[f]
+        return _LEAF_LEVEL if v < 0 else self._level_of_var[v]
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Find-or-create the node ``(var, lo, hi)`` (reduced, canonical)."""
+        if lo == hi:
+            return lo
+        table = self._unique[var]
+        key = (lo, hi)
+        node = table.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._var[node] = var
+            self._lo[node] = lo
+            self._hi[node] = hi
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._lo.append(lo)
+            self._hi.append(hi)
+        table[key] = node
+        return node
+
+    def var(self, name_or_index) -> int:
+        """Return the function of a single positive literal."""
+        var = name_or_index if isinstance(name_or_index, int) else self.var_index(name_or_index)
+        return self._mk(var, FALSE, TRUE)
+
+    def nvar(self, name_or_index) -> int:
+        """Return the function of a single negative literal."""
+        var = name_or_index if isinstance(name_or_index, int) else self.var_index(name_or_index)
+        return self._mk(var, TRUE, FALSE)
+
+    @property
+    def true(self) -> int:
+        return TRUE
+
+    @property
+    def false(self) -> int:
+        return FALSE
+
+    def __len__(self) -> int:
+        """Total live nodes in the pool (including the two terminals)."""
+        return len(self._var) - len(self._free)
+
+    # ------------------------------------------------------------------
+    # Core operators
+    # ------------------------------------------------------------------
+
+    def top_var(self, *nodes: int) -> int:
+        """Variable with the smallest level among the tops of ``nodes``."""
+        best = -1
+        best_level = _LEAF_LEVEL
+        for f in nodes:
+            v = self._var[f]
+            if v >= 0:
+                lvl = self._level_of_var[v]
+                if lvl < best_level:
+                    best_level = lvl
+                    best = v
+        return best
+
+    def _cofactors(self, f: int, var: int) -> Tuple[int, int]:
+        if self._var[f] == var:
+            return self._lo[f], self._hi[f]
+        return f, f
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h``.  The universal connective."""
+        # Terminal cases.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        cache = self._cache
+        key = ("ite", f, g, h)
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self.top_var(f, g, h)
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        h0, h1 = self._cofactors(h, var)
+        lo = self.ite(f0, g0, h0)
+        hi = self.ite(f1, g1, h1)
+        res = self._mk(var, lo, hi)
+        cache[key] = res
+        return res
+
+    def not_(self, f: int) -> int:
+        """Negation."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        key = ("not", f)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        res = self._mk(var, self.not_(self._lo[f]), self.not_(self._hi[f]))
+        cache[key] = res
+        cache[("not", res)] = f
+        return res
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction, with a dedicated cache entry (hot path)."""
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = ("and", f, g)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self.top_var(f, g)
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        res = self._mk(var, self.and_(f0, g0), self.and_(f1, g1))
+        cache[key] = res
+        return res
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.not_(self.and_(self.not_(f), self.not_(g)))
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.not_(g), g)
+
+    def xnor(self, f: int, g: int) -> int:
+        """Equivalence."""
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        return self.ite(f, g, TRUE)
+
+    def diff(self, f: int, g: int) -> int:
+        """Difference ``f & ~g``."""
+        return self.and_(f, self.not_(g))
+
+    def conj(self, fs: Iterable[int]) -> int:
+        """Conjunction of many functions."""
+        res = TRUE
+        for f in fs:
+            res = self.and_(res, f)
+            if res == FALSE:
+                return FALSE
+        return res
+
+    def disj(self, fs: Iterable[int]) -> int:
+        """Disjunction of many functions."""
+        res = FALSE
+        for f in fs:
+            res = self.or_(res, f)
+            if res == TRUE:
+                return TRUE
+        return res
+
+    # ------------------------------------------------------------------
+    # Quantification and relational product
+    # ------------------------------------------------------------------
+
+    def cube(self, variables: Iterable) -> int:
+        """Positive cube (conjunction of positive literals) over ``variables``.
+
+        Used as the canonical representation of a quantification set.
+        """
+        vs = sorted(
+            (v if isinstance(v, int) else self.var_index(v) for v in variables),
+            key=lambda v: self._level_of_var[v],
+            reverse=True,
+        )
+        res = TRUE
+        for v in vs:
+            res = self._mk(v, FALSE, res)
+        return res
+
+    def cube_vars(self, cube: int) -> List[int]:
+        """Variable indices appearing in a positive cube."""
+        out = []
+        while cube not in (FALSE, TRUE):
+            out.append(self._var[cube])
+            cube = self._hi[cube] if self._lo[cube] == FALSE else self._lo[cube]
+        return out
+
+    def exist(self, variables, f: int) -> int:
+        """Existentially quantify ``variables`` out of ``f``."""
+        cube = variables if isinstance(variables, int) else self.cube(variables)
+        return self._exist(cube, f)
+
+    def _exist(self, cube: int, f: int) -> int:
+        if f in (FALSE, TRUE) or cube == TRUE:
+            return f
+        # Skip cube variables above f's top.
+        flevel = self._node_level(f)
+        while cube != TRUE and self._node_level(cube) < flevel:
+            cube = self._hi[cube]
+        if cube == TRUE:
+            return f
+        key = ("exist", cube, f)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        lo, hi = self._lo[f], self._hi[f]
+        if self._var[cube] == var:
+            sub = self._hi[cube]
+            res = self.or_(self._exist(sub, lo), self._exist(sub, hi))
+        else:
+            res = self._mk(var, self._exist(cube, lo), self._exist(cube, hi))
+        cache[key] = res
+        return res
+
+    def forall(self, variables, f: int) -> int:
+        """Universally quantify ``variables`` out of ``f``."""
+        return self.not_(self.exist(variables, self.not_(f)))
+
+    def and_exists(self, f: int, g: int, variables) -> int:
+        """Fused relational product ``exists variables . f & g``.
+
+        Avoids building the full conjunction before quantifying — the
+        crucial optimization for symbolic image computation (paper §5.3).
+        """
+        cube = variables if isinstance(variables, int) else self.cube(variables)
+        return self._and_exists(f, g, cube)
+
+    def _and_exists(self, f: int, g: int, cube: int) -> int:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if cube == TRUE:
+            return self.and_(f, g)
+        if f == TRUE and g == TRUE:
+            return TRUE
+        if f > g:
+            f, g = g, f
+        top = min(self._node_level(f), self._node_level(g))
+        while cube != TRUE and self._node_level(cube) < top:
+            cube = self._hi[cube]
+        if cube == TRUE:
+            return self.and_(f, g)
+        key = ("andex", f, g, cube)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self.top_var(f, g)
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        if self._var[cube] == var:
+            sub = self._hi[cube]
+            lo = self._and_exists(f0, g0, sub)
+            if lo == TRUE:
+                res = TRUE
+            else:
+                res = self.or_(lo, self._and_exists(f1, g1, sub))
+        else:
+            res = self._mk(
+                var, self._and_exists(f0, g0, cube), self._and_exists(f1, g1, cube)
+            )
+        cache[key] = res
+        return res
+
+    # ------------------------------------------------------------------
+    # Substitution
+    # ------------------------------------------------------------------
+
+    def rename(self, f: int, mapping: Dict[int, int]) -> int:
+        """Rename variables according to ``mapping`` (var index -> var index).
+
+        The mapping must be order-preserving with respect to the current
+        variable order (as is the case for interleaved present/next state
+        variables); otherwise a :class:`BddError` is raised and the caller
+        should fall back to :meth:`compose`.
+        """
+        if not mapping:
+            return f
+        pairs = sorted(mapping.items(), key=lambda kv: self._level_of_var[kv[0]])
+        images = [self._level_of_var[v] for _, v in pairs]
+        if images != sorted(images):
+            raise BddError("rename mapping must preserve the variable order")
+        # The rename must also not move a variable across an unrenamed
+        # variable in f's support in an order-violating way; detect lazily
+        # during reconstruction (mk with out-of-order children would break
+        # canonicity silently, so check support overlap here).
+        key_map = tuple(sorted(mapping.items()))
+        return self._rename(f, mapping, key_map)
+
+    def _rename(self, f: int, mapping: Dict[int, int], key_map: Tuple) -> int:
+        if f in (FALSE, TRUE):
+            return f
+        key = ("rename", f, key_map)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        lo = self._rename(self._lo[f], mapping, key_map)
+        hi = self._rename(self._hi[f], mapping, key_map)
+        nvar = mapping.get(var, var)
+        nlvl = self._level_of_var[nvar]
+        for child in (lo, hi):
+            if child not in (FALSE, TRUE) and self._node_level(child) <= nlvl:
+                raise BddError(
+                    "rename would reorder variables; use compose instead"
+                )
+        res = self._mk(nvar, lo, hi)
+        cache[key] = res
+        return res
+
+    def compose(self, f: int, var, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` in ``f``."""
+        v = var if isinstance(var, int) else self.var_index(var)
+        return self.ite(g, self.restrict(f, {v: True}), self.restrict(f, {v: False}))
+
+    def vector_compose(self, f: int, substitution: Dict[int, int]) -> int:
+        """Simultaneously substitute functions for variables in ``f``.
+
+        ``substitution`` maps variable indices to replacement functions.
+        Implemented by Shannon recursion from the top; correct for
+        simultaneous (non-iterated) substitution.
+        """
+        if not substitution:
+            return f
+        key_map = tuple(sorted(substitution.items()))
+        return self._vcompose(f, substitution, key_map)
+
+    def _vcompose(self, f: int, sub: Dict[int, int], key_map: Tuple) -> int:
+        if f in (FALSE, TRUE):
+            return f
+        key = ("vcomp", f, key_map)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        lo = self._vcompose(self._lo[f], sub, key_map)
+        hi = self._vcompose(self._hi[f], sub, key_map)
+        g = sub.get(var)
+        if g is None:
+            g = self.var(var)
+        res = self.ite(g, hi, lo)
+        cache[key] = res
+        return res
+
+    # ------------------------------------------------------------------
+    # Cofactors and don't-care minimization
+    # ------------------------------------------------------------------
+
+    def restrict(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor ``f`` with respect to a partial variable assignment."""
+        if not assignment:
+            return f
+        key_map = tuple(sorted(assignment.items()))
+        return self._restrict(f, assignment, key_map)
+
+    def _restrict(self, f: int, assignment: Dict[int, bool], key_map: Tuple) -> int:
+        if f in (FALSE, TRUE):
+            return f
+        key = ("restr", f, key_map)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        if var in assignment:
+            res = self._restrict(
+                self._hi[f] if assignment[var] else self._lo[f], assignment, key_map
+            )
+        else:
+            res = self._mk(
+                var,
+                self._restrict(self._lo[f], assignment, key_map),
+                self._restrict(self._hi[f], assignment, key_map),
+            )
+        cache[key] = res
+        return res
+
+    def cofactor_cube(self, f: int, cube: int) -> int:
+        """Cofactor ``f`` by a (possibly negative-literal) cube BDD."""
+        assignment: Dict[int, bool] = {}
+        while cube not in (FALSE, TRUE):
+            var = self._var[cube]
+            if self._lo[cube] == FALSE:
+                assignment[var] = True
+                cube = self._hi[cube]
+            else:
+                assignment[var] = False
+                cube = self._lo[cube]
+        return self.restrict(f, assignment)
+
+    def constrain(self, f: int, c: int) -> int:
+        """Generalized cofactor (constrain) of ``f`` by care set ``c``.
+
+        ``constrain(f, c)`` agrees with ``f`` on ``c`` and is free to take
+        any value outside; it maps each minterm outside ``c`` to the value
+        of ``f`` on the nearest minterm inside ``c`` (Coudert-Madre).
+        """
+        if c == FALSE:
+            raise BddError("constrain by the empty care set is undefined")
+        if c == TRUE or f in (FALSE, TRUE):
+            return f
+        if f == c:
+            return TRUE
+        key = ("constrain", f, c)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        var = self.top_var(f, c)
+        f0, f1 = self._cofactors(f, var)
+        c0, c1 = self._cofactors(c, var)
+        if c0 == FALSE:
+            res = self.constrain(f1, c1)
+        elif c1 == FALSE:
+            res = self.constrain(f0, c0)
+        else:
+            res = self._mk(var, self.constrain(f0, c0), self.constrain(f1, c1))
+        cache[key] = res
+        return res
+
+    def restrict_dc(self, f: int, c: int) -> int:
+        """Coudert-Madre *restrict*: minimize ``f`` using care set ``c``.
+
+        Like :meth:`constrain` but quantifies variables absent from ``f``
+        out of the care set first, which guarantees the result's support
+        is a subset of ``f``'s support and usually yields smaller BDDs.
+        HSIS uses this to shrink intermediate BDDs with reached-state
+        don't cares (paper §1 item 3).
+        """
+        if c == FALSE:
+            raise BddError("restrict by the empty care set is undefined")
+        if c == TRUE or f in (FALSE, TRUE):
+            return f
+        key = ("restrdc", f, c)
+        cache = self._cache
+        res = cache.get(key)
+        if res is not None:
+            return res
+        lf, lc = self._node_level(f), self._node_level(c)
+        if lc < lf:
+            cv = self._var[c]
+            res = self.restrict_dc(f, self.or_(self._lo[c], self._hi[c]))
+        else:
+            var = self._var[f]
+            f0, f1 = self._lo[f], self._hi[f]
+            c0, c1 = self._cofactors(c, var)
+            if c0 == FALSE:
+                res = self.restrict_dc(f1, c1)
+            elif c1 == FALSE:
+                res = self.restrict_dc(f0, c0)
+            else:
+                res = self._mk(var, self.restrict_dc(f0, c0), self.restrict_dc(f1, c1))
+        cache[key] = res
+        return res
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def support(self, f: int) -> List[int]:
+        """Variable indices in the support of ``f``, in order."""
+        seen = set()
+        sup = set()
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n in (FALSE, TRUE) or n in seen:
+                continue
+            seen.add(n)
+            sup.add(self._var[n])
+            stack.append(self._lo[n])
+            stack.append(self._hi[n])
+        return sorted(sup, key=lambda v: self._level_of_var[v])
+
+    def size(self, f) -> int:
+        """Number of distinct nodes in the DAG(s) rooted at ``f``.
+
+        ``f`` may be a single node or an iterable of nodes (shared size).
+        """
+        roots = [f] if isinstance(f, int) else list(f)
+        seen = set()
+        stack = list(roots)
+        while stack:
+            n = stack.pop()
+            if n in (FALSE, TRUE) or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self._lo[n])
+            stack.append(self._hi[n])
+        return len(seen) + 2
+
+    def eval(self, f: int, assignment: Dict) -> bool:
+        """Evaluate ``f`` under a total assignment (name or index keys)."""
+        norm = {
+            (k if isinstance(k, int) else self.var_index(k)): bool(v)
+            for k, v in assignment.items()
+        }
+        while f not in (FALSE, TRUE):
+            var = self._var[f]
+            if var not in norm:
+                raise BddError(f"assignment misses variable {self.var_name(var)!r}")
+            f = self._hi[f] if norm[var] else self._lo[f]
+        return f == TRUE
+
+    def sat_count(self, f: int, care_vars: Optional[Sequence] = None) -> int:
+        """Exact model count of ``f`` over ``care_vars``.
+
+        ``care_vars`` defaults to all declared variables; it must contain
+        the support of ``f``.  Exact arbitrary-precision arithmetic.
+        """
+        import bisect
+
+        if care_vars is None:
+            care = list(range(self.var_count))
+        else:
+            care = [v if isinstance(v, int) else self.var_index(v) for v in care_vars]
+        care_levels = sorted(self._level_of_var[v] for v in care)
+        care_set = set(care_levels)
+        for v in self.support(f):
+            if self._level_of_var[v] not in care_set:
+                raise BddError("care_vars must contain the support of f")
+        n = len(care_levels)
+
+        def rank(level: int) -> int:
+            """Number of care variables with level < ``level``."""
+            return bisect.bisect_left(care_levels, level)
+
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            # Models over care vars at levels >= level(node).
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            got = memo.get(node)
+            if got is not None:
+                return got
+            lvl = self._node_level(node)
+            total = 0
+            for child in (self._lo[node], self._hi[node]):
+                c = walk(child)
+                if c:
+                    child_rank = n if child in (FALSE, TRUE) else rank(
+                        self._node_level(child)
+                    )
+                    total += c << (child_rank - rank(lvl) - 1)
+            memo[node] = total
+            return total
+
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << n
+        return walk(f) << rank(self._node_level(f))
+
+    def pick_cube(self, f: int, care_vars: Optional[Sequence] = None) -> Optional[Dict[int, bool]]:
+        """Return one satisfying partial assignment, or None if ``f`` is FALSE.
+
+        Variables in ``care_vars`` (indices or names) absent from the
+        chosen path are assigned ``False`` to make the cube total over the
+        care set.  Prefers low branches (lexicographically smallest cube).
+        """
+        if f == FALSE:
+            return None
+        cube: Dict[int, bool] = {}
+        node = f
+        while node not in (FALSE, TRUE):
+            var = self._var[node]
+            if self._lo[node] != FALSE:
+                cube[var] = False
+                node = self._lo[node]
+            else:
+                cube[var] = True
+                node = self._hi[node]
+        if care_vars is not None:
+            for v in care_vars:
+                idx = v if isinstance(v, int) else self.var_index(v)
+                cube.setdefault(idx, False)
+        return cube
+
+    def sat_iter(self, f: int, care_vars: Sequence) -> Iterator[Dict[int, bool]]:
+        """Enumerate all total satisfying assignments over ``care_vars``."""
+        care = [v if isinstance(v, int) else self.var_index(v) for v in care_vars]
+        care_sorted = sorted(care, key=lambda v: self._level_of_var[v])
+
+        def expand(node: int, idx: int, acc: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if node == FALSE:
+                return
+            if idx == len(care_sorted):
+                if node == TRUE:
+                    yield dict(acc)
+                return
+            var = care_sorted[idx]
+            node_var = self._var[node] if node not in (FALSE, TRUE) else None
+            if node_var == var:
+                for val, child in ((False, self._lo[node]), (True, self._hi[node])):
+                    acc[var] = val
+                    yield from expand(child, idx + 1, acc)
+                del acc[var]
+            else:
+                # node does not test var (or is TRUE): both branches.
+                for val in (False, True):
+                    acc[var] = val
+                    yield from expand(node, idx + 1, acc)
+                del acc[var]
+
+        yield from expand(f, 0, {})
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def register_root(self, name: str, node: int) -> None:
+        """Register/overwrite an external GC root under ``name``."""
+        self._roots[name] = node
+
+    def deregister_root(self, name: str) -> None:
+        """Drop a previously registered root (missing names are ignored)."""
+        self._roots.pop(name, None)
+
+    def gc(self, extra_roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep collection; returns the number of nodes freed.
+
+        Keeps every node reachable from registered roots plus
+        ``extra_roots``.  Node ids of live nodes are stable.  The computed
+        cache is cleared (it may reference dead nodes).
+        """
+        marked = {FALSE, TRUE}
+        stack = list(self._roots.values()) + list(extra_roots)
+        while stack:
+            n = stack.pop()
+            if n in marked:
+                continue
+            marked.add(n)
+            stack.append(self._lo[n])
+            stack.append(self._hi[n])
+        freed = 0
+        for node in range(2, len(self._var)):
+            if node in marked or self._var[node] < 0:
+                continue
+            table = self._unique[self._var[node]]
+            table.pop((self._lo[node], self._hi[node]), None)
+            self._var[node] = -1
+            self._free.append(node)
+            freed += 1
+        self._cache.clear()
+        self.gc_count += 1
+        return freed
+
+    def clear_cache(self) -> None:
+        """Drop the computed cache (useful to bound memory in long runs)."""
+        self._cache.clear()
+
+    def cache_size(self) -> int:
+        """Number of entries in the computed cache."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Export / debug
+    # ------------------------------------------------------------------
+
+    def to_expr(self, f: int) -> str:
+        """Render ``f`` as a (possibly large) nested ite expression string."""
+        if f == FALSE:
+            return "FALSE"
+        if f == TRUE:
+            return "TRUE"
+        name = self.var_name(self._var[f])
+        return (
+            f"ite({name}, {self.to_expr(self._hi[f])}, {self.to_expr(self._lo[f])})"
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Manager statistics (live nodes, cache entries, variables, GCs)."""
+        return {
+            "live_nodes": len(self),
+            "allocated_nodes": len(self._var),
+            "cache_entries": len(self._cache),
+            "variables": self.var_count,
+            "gc_runs": self.gc_count,
+        }

@@ -1,0 +1,47 @@
+"""BLIF-MV: the multi-valued, non-deterministic intermediate format of HSIS.
+
+Parse with :func:`repro.blifmv.parse` / :func:`repro.blifmv.parse_file`,
+serialize with :func:`repro.blifmv.write`, and elaborate hierarchy with
+:func:`repro.blifmv.flatten`.
+"""
+
+from repro.blifmv.ast import (
+    ANY,
+    Any_,
+    BlifMvError,
+    Design,
+    Eq,
+    Latch,
+    Model,
+    Row,
+    Subckt,
+    Table,
+    ValueSet,
+    BINARY_DOMAIN,
+)
+from repro.blifmv.parser import parse, parse_file
+from repro.blifmv.writer import line_count, write, write_file, write_model
+from repro.blifmv.hierarchy import flatten, instance_tree
+
+__all__ = [
+    "ANY",
+    "Any_",
+    "BINARY_DOMAIN",
+    "BlifMvError",
+    "Design",
+    "Eq",
+    "Latch",
+    "Model",
+    "Row",
+    "Subckt",
+    "Table",
+    "ValueSet",
+    "parse",
+    "parse_file",
+    "write",
+    "write_file",
+    "write_model",
+    "line_count",
+    "flatten",
+    "instance_tree",
+]

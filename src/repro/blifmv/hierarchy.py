@@ -1,0 +1,168 @@
+"""Hierarchy elaboration: flatten a multi-model design into one model.
+
+HSIS descriptions are hierarchical (``.subckt``); verification operates
+on the flattened network of relations and latches.  Flattening renames
+each instance's internal variables with an ``instance.`` prefix and
+splices formal ports to the parent's actual nets.
+
+Flattening is purely structural: non-determinism, multi-valued domains
+and reset values are preserved verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.blifmv.ast import (
+    ANY,
+    Any_,
+    BlifMvError,
+    Design,
+    Eq,
+    Latch,
+    Model,
+    PatternEntry,
+    Row,
+    Subckt,
+    Table,
+)
+
+
+def flatten(design: Design, root: Optional[str] = None) -> Model:
+    """Flatten ``design`` into a single model with no subcircuits.
+
+    The result keeps the root's name; instance internals are prefixed
+    ``instance.``.  Recursion depth equals the hierarchy depth;
+    instantiation cycles are rejected.
+    """
+    design.validate()
+    root_name = root if root is not None else design.root
+    if root_name is None or root_name not in design.models:
+        raise BlifMvError(f"unknown root model {root_name!r}")
+    flat = Model(name=root_name)
+    root_model = design.models[root_name]
+    flat.inputs = list(root_model.inputs)
+    flat.outputs = list(root_model.outputs)
+    _inline(design, root_model, prefix="", target=flat, stack=[root_name])
+    flat.validate()
+    return flat
+
+
+def _rename(name: str, prefix: str, port_map: Dict[str, str]) -> str:
+    if name in port_map:
+        return port_map[name]
+    return prefix + name
+
+
+def _rename_entry(entry: PatternEntry, prefix: str, port_map: Dict[str, str]) -> PatternEntry:
+    if isinstance(entry, Eq):
+        return Eq(_rename(entry.name, prefix, port_map))
+    return entry
+
+
+def _inline(
+    design: Design,
+    model: Model,
+    prefix: str,
+    target: Model,
+    stack: List[str],
+    port_map: Optional[Dict[str, str]] = None,
+) -> None:
+    port_map = port_map or {}
+
+    if model.synchrony is not None:
+        from repro.blifmv.synchrony import SyncLeaf, SyncNode
+
+        def rename_tree(tree):
+            if isinstance(tree, SyncLeaf):
+                return SyncLeaf(_rename(tree.latch, prefix, port_map))
+            return SyncNode(tree.label,
+                            tuple(rename_tree(c) for c in tree.children))
+
+        if target.synchrony is not None:
+            raise BlifMvError(
+                "only one model in the hierarchy may carry a synchrony tree"
+            )
+        target.synchrony = rename_tree(model.synchrony)
+
+    for net, location in model.sources.items():
+        target.sources[_rename(net, prefix, port_map)] = location
+
+    for var, domain in model.domains.items():
+        new_name = _rename(var, prefix, port_map)
+        existing = target.domains.get(new_name)
+        if existing is not None and existing != domain:
+            raise BlifMvError(
+                f"conflicting domains for {new_name!r}: {existing} vs {domain}"
+            )
+        target.domains[new_name] = domain
+
+    for table in model.tables:
+        target.tables.append(
+            Table(
+                inputs=[_rename(v, prefix, port_map) for v in table.inputs],
+                outputs=[_rename(v, prefix, port_map) for v in table.outputs],
+                rows=[
+                    Row(
+                        inputs=tuple(
+                            _rename_entry(e, prefix, port_map) for e in row.inputs
+                        ),
+                        outputs=tuple(
+                            _rename_entry(e, prefix, port_map) for e in row.outputs
+                        ),
+                    )
+                    for row in table.rows
+                ],
+                default=None
+                if table.default is None
+                else tuple(_rename_entry(e, prefix, port_map) for e in table.default),
+            )
+        )
+
+    for latch in model.latches:
+        target.latches.append(
+            Latch(
+                input=_rename(latch.input, prefix, port_map),
+                output=_rename(latch.output, prefix, port_map),
+                reset=list(latch.reset),
+            )
+        )
+
+    for sub in model.subckts:
+        if sub.model in stack:
+            raise BlifMvError(
+                "instantiation cycle: " + " -> ".join(stack + [sub.model])
+            )
+        child = design.models[sub.model]
+        child_prefix = prefix + sub.instance + "."
+        child_ports: Dict[str, str] = {}
+        for formal in list(child.inputs) + list(child.outputs):
+            if formal in sub.connections:
+                child_ports[formal] = _rename(sub.connections[formal], prefix, port_map)
+            else:
+                # Dangling port: becomes a fresh prefixed net.
+                child_ports[formal] = child_prefix + formal
+        _inline(
+            design,
+            child,
+            prefix=child_prefix,
+            target=target,
+            stack=stack + [sub.model],
+            port_map=child_ports,
+        )
+
+
+def instance_tree(design: Design, root: Optional[str] = None) -> List[str]:
+    """Human-readable instance tree (one line per instance)."""
+    root_name = root if root is not None else design.root
+    if root_name is None:
+        return []
+    lines: List[str] = []
+
+    def walk(model_name: str, path: str, depth: int) -> None:
+        lines.append("  " * depth + f"{path or 'top'}: {model_name}")
+        for sub in design.models[model_name].subckts:
+            walk(sub.model, f"{path}.{sub.instance}" if path else sub.instance, depth + 1)
+
+    walk(root_name, "", 0)
+    return lines

@@ -1,0 +1,283 @@
+"""Parser for the BLIF-MV dialect described in :mod:`repro.blifmv.ast`.
+
+Grammar notes:
+
+* ``#`` starts a comment; ``\\`` at end of line continues it.
+* ``.mv a,b,c 4 w x y z`` declares domain ``(w, x, y, z)`` for three
+  variables at once; value names default to ``"0".."n-1"``.
+* Table rows follow the ``.table``/``.default`` lines until the next dot
+  directive.
+* ``.reset <latch-output>`` rows (one value per line) give the initial
+  value(s) of a latch.  ``.r <value>`` after ``.latch`` is accepted as a
+  shorthand for a single reset value.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Tuple
+
+from repro.blifmv.ast import (
+    ANY,
+    BlifMvError,
+    Design,
+    Eq,
+    Latch,
+    Model,
+    PatternEntry,
+    Row,
+    Subckt,
+    Table,
+    ValueSet,
+)
+
+_VALUE_SET_RE = re.compile(r"^[({](.*)[)}]$")
+
+
+def parse(text: str, source: str = "<string>") -> Design:
+    """Parse BLIF-MV text into a :class:`Design` (validated)."""
+    parser = _Parser(text, source)
+    design = parser.run()
+    design.validate()
+    return design
+
+
+def parse_file(path: str) -> Design:
+    """Parse a BLIF-MV file."""
+    with open(path) as handle:
+        return parse(handle.read(), source=path)
+
+
+def _logical_lines(text: str) -> Iterable[Tuple[int, str]]:
+    """Yield (line number, logical line) after comment/continuation handling."""
+    pending = ""
+    pending_line = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not pending:
+            continue
+        if line.endswith("\\"):
+            if not pending:
+                pending_line = number
+            pending += line[:-1] + " "
+            continue
+        if pending:
+            yield pending_line, (pending + line).strip()
+            pending = ""
+        else:
+            if line.strip():
+                yield number, line.strip()
+    if pending.strip():
+        yield pending_line, pending.strip()
+
+
+class _Parser:
+    def __init__(self, text: str, source: str):
+        self.lines = list(_logical_lines(text))
+        self.source = source
+        self.pos = 0
+        self.design = Design()
+        self.model: Optional[Model] = None
+        self.current_table: Optional[Table] = None
+        self.current_reset: Optional[Latch] = None
+        self.last_latch: Optional[Latch] = None
+
+    def error(self, lineno: int, message: str) -> BlifMvError:
+        return BlifMvError(f"{self.source}:{lineno}: {message}")
+
+    def run(self) -> Design:
+        for lineno, line in self.lines:
+            if line.startswith("."):
+                self.directive(lineno, line)
+            else:
+                self.data_row(lineno, line)
+        if self.model is not None:
+            self.finish_model()
+        if not self.design.models:
+            raise BlifMvError(f"{self.source}: no .model found")
+        return self.design
+
+    # -- directives ----------------------------------------------------
+
+    def directive(self, lineno: int, line: str) -> None:
+        parts = line.split()
+        keyword, args = parts[0], parts[1:]
+        if keyword == ".model":
+            if self.model is not None:
+                self.finish_model()
+            if len(args) != 1:
+                raise self.error(lineno, ".model needs exactly one name")
+            self.model = Model(name=args[0])
+            return
+        if self.model is None:
+            raise self.error(lineno, f"{keyword} before .model")
+        self.current_table = None
+        self.current_reset = None
+        if keyword == ".inputs":
+            self.model.inputs.extend(args)
+        elif keyword == ".outputs":
+            self.model.outputs.extend(args)
+        elif keyword == ".mv":
+            self.parse_mv(lineno, args)
+        elif keyword == ".table":
+            self.parse_table(lineno, args)
+        elif keyword == ".names":  # plain-BLIF compatibility
+            self.parse_table(lineno, args[:-1] + ["->"] + args[-1:])
+        elif keyword == ".latch":
+            self.parse_latch(lineno, args)
+        elif keyword == ".reset":
+            self.parse_reset(lineno, args)
+        elif keyword == ".r":
+            if self.last_latch is None:
+                raise self.error(lineno, ".r without preceding .latch")
+            self.last_latch.reset.extend(args)
+        elif keyword == ".default":
+            self.parse_default(lineno, args)
+        elif keyword == ".synchrony":
+            self.parse_synchrony(lineno, args)
+        elif keyword == ".source":
+            if len(args) < 2:
+                raise self.error(lineno, ".source needs a net and a location")
+            self.model.sources[args[0]] = " ".join(args[1:])
+        elif keyword == ".subckt":
+            self.parse_subckt(lineno, args)
+        elif keyword == ".end":
+            self.finish_model()
+        else:
+            raise self.error(lineno, f"unknown directive {keyword}")
+
+    def finish_model(self) -> None:
+        if self.model is not None:
+            self.design.add(self.model)
+        self.model = None
+        self.current_table = None
+        self.current_reset = None
+        self.last_latch = None
+
+    def parse_mv(self, lineno: int, args: List[str]) -> None:
+        if len(args) < 2:
+            raise self.error(lineno, ".mv needs variables and a domain size")
+        names = [n for n in args[0].split(",") if n]
+        try:
+            size = int(args[1])
+        except ValueError:
+            raise self.error(lineno, f"bad domain size {args[1]!r}") from None
+        if size < 1:
+            raise self.error(lineno, "domain size must be >= 1")
+        values = tuple(args[2:]) if len(args) > 2 else tuple(str(i) for i in range(size))
+        if len(values) != size:
+            raise self.error(
+                lineno, f".mv declares {size} values but names {len(values)}"
+            )
+        assert self.model is not None
+        for name in names:
+            if name in self.model.domains:
+                raise self.error(lineno, f"domain of {name!r} declared twice")
+            self.model.domains[name] = values
+
+    def parse_table(self, lineno: int, args: List[str]) -> None:
+        assert self.model is not None
+        if "->" in args:
+            arrow = args.index("->")
+            inputs, outputs = args[:arrow], args[arrow + 1:]
+        else:
+            inputs, outputs = args[:-1], args[-1:]
+        if not outputs:
+            raise self.error(lineno, ".table needs at least one output")
+        table = Table(inputs=inputs, outputs=outputs)
+        self.model.tables.append(table)
+        self.current_table = table
+
+    def parse_default(self, lineno: int, args: List[str]) -> None:
+        if self.model is None or not self.model.tables:
+            raise self.error(lineno, ".default without a table")
+        table = self.model.tables[-1]
+        if table.default is not None:
+            raise self.error(lineno, "second .default for the same table")
+        table.default = tuple(self.parse_entry(lineno, tok) for tok in args)
+        self.current_table = table
+
+    def parse_latch(self, lineno: int, args: List[str]) -> None:
+        assert self.model is not None
+        if len(args) < 2:
+            raise self.error(lineno, ".latch needs input and output names")
+        latch = Latch(input=args[0], output=args[1])
+        if len(args) > 2:  # optional inline reset value(s)
+            latch.reset.extend(args[2:])
+        self.model.latches.append(latch)
+        self.last_latch = latch
+
+    def parse_reset(self, lineno: int, args: List[str]) -> None:
+        assert self.model is not None
+        if len(args) != 1:
+            raise self.error(lineno, ".reset names exactly one latch output")
+        name = args[0]
+        for latch in self.model.latches:
+            if latch.output == name:
+                self.current_reset = latch
+                return
+        raise self.error(lineno, f".reset for unknown latch output {name!r}")
+
+    def parse_synchrony(self, lineno: int, args: List[str]) -> None:
+        from repro.blifmv.synchrony import SynchronyError, parse_synchrony
+
+        assert self.model is not None
+        if self.model.synchrony is not None:
+            raise self.error(lineno, "second .synchrony for the same model")
+        try:
+            self.model.synchrony = parse_synchrony(" ".join(args))
+        except SynchronyError as exc:
+            raise self.error(lineno, str(exc)) from exc
+
+    def parse_subckt(self, lineno: int, args: List[str]) -> None:
+        assert self.model is not None
+        if len(args) < 2:
+            raise self.error(lineno, ".subckt needs a model and an instance name")
+        sub = Subckt(model=args[0], instance=args[1])
+        for conn in args[2:]:
+            if "=" not in conn:
+                raise self.error(lineno, f"bad connection {conn!r} (want formal=actual)")
+            formal, actual = conn.split("=", 1)
+            if formal in sub.connections:
+                raise self.error(lineno, f"port {formal!r} connected twice")
+            sub.connections[formal] = actual
+        self.model.subckts.append(sub)
+
+    # -- data rows -----------------------------------------------------
+
+    def data_row(self, lineno: int, line: str) -> None:
+        if self.current_reset is not None:
+            self.current_reset.reset.extend(line.split())
+            return
+        if self.current_table is None:
+            raise self.error(lineno, f"unexpected data row {line!r}")
+        table = self.current_table
+        tokens = line.split()
+        expected = len(table.inputs) + len(table.outputs)
+        if len(tokens) != expected:
+            raise self.error(
+                lineno,
+                f"row has {len(tokens)} entries, table "
+                f"{table.inputs}->{table.outputs} needs {expected}",
+            )
+        entries = [self.parse_entry(lineno, tok) for tok in tokens]
+        row = Row(
+            inputs=tuple(entries[: len(table.inputs)]),
+            outputs=tuple(entries[len(table.inputs):]),
+        )
+        table.rows.append(row)
+
+    def parse_entry(self, lineno: int, token: str) -> PatternEntry:
+        if token == "-":
+            return ANY
+        if token.startswith("="):
+            if len(token) == 1:
+                raise self.error(lineno, "'=' needs a variable name")
+            return Eq(token[1:])
+        match = _VALUE_SET_RE.match(token)
+        if match:
+            values = tuple(v for v in match.group(1).split(",") if v)
+            if not values:
+                raise self.error(lineno, f"empty value set {token!r}")
+            return ValueSet(values)
+        return token

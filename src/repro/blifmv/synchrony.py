@@ -1,0 +1,137 @@
+"""Synchrony trees: the extended c/s concurrency model (paper §4).
+
+    "The extended c/s concurrency model associates a synchrony tree with
+    each description.  A synchrony tree is a tree whose leaves are the
+    latches, and whose intermediate nodes are labeled with A (for
+    asynchronous) and S (for synchronous).  The semantics is that at
+    every point in time only a subset of latches change their values.
+    The subset to be updated is any set of latches that can be reached
+    using the following procedure: start at the root, and at each
+    synchronous node, choose all branches, whereas at each asynchronous
+    node, choose one branch randomly."
+
+Latches not updated in a tick hold their value.  Concrete syntax (a
+``.synchrony`` directive holding one s-expression)::
+
+    .synchrony (A (S p0 f0) (S p1 f1))
+
+models two synchronous process/fork pairs interleaving asynchronously.
+Latches absent from the tree update every tick (fully synchronous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+
+class SynchronyError(Exception):
+    """Raised on malformed synchrony trees."""
+
+
+@dataclass(frozen=True)
+class SyncLeaf:
+    """A latch (by its output name)."""
+
+    latch: str
+
+    def leaves(self) -> Iterator[str]:
+        yield self.latch
+
+    def to_sexpr(self) -> str:
+        return self.latch
+
+
+@dataclass(frozen=True)
+class SyncNode:
+    """An internal node: 'S' updates all children, 'A' exactly one."""
+
+    label: str  # 'A' | 'S'
+    children: Tuple[Union["SyncNode", SyncLeaf], ...]
+
+    def __post_init__(self):
+        if self.label not in ("A", "S"):
+            raise SynchronyError(f"node label must be 'A' or 'S', got {self.label!r}")
+        if not self.children:
+            raise SynchronyError("synchrony node needs at least one child")
+
+    def leaves(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def to_sexpr(self) -> str:
+        inner = " ".join(c.to_sexpr() for c in self.children)
+        return f"({self.label} {inner})"
+
+
+SyncTree = Union[SyncNode, SyncLeaf]
+
+
+def parse_synchrony(text: str) -> SyncTree:
+    """Parse a synchrony-tree s-expression."""
+    tokens = text.replace("(", " ( ").replace(")", " ) ").split()
+    pos = 0
+
+    def parse() -> SyncTree:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise SynchronyError("unexpected end of synchrony expression")
+        token = tokens[pos]
+        pos += 1
+        if token == "(":
+            if pos >= len(tokens):
+                raise SynchronyError("unexpected end after '('")
+            label = tokens[pos]
+            pos += 1
+            children: List[SyncTree] = []
+            while pos < len(tokens) and tokens[pos] != ")":
+                children.append(parse())
+            if pos >= len(tokens):
+                raise SynchronyError("missing ')'")
+            pos += 1
+            return SyncNode(label=label, children=tuple(children))
+        if token == ")":
+            raise SynchronyError("unexpected ')'")
+        return SyncLeaf(latch=token)
+
+    tree = parse()
+    if pos != len(tokens):
+        raise SynchronyError(f"trailing tokens: {tokens[pos:]}")
+    duplicates = _duplicate_leaves(tree)
+    if duplicates:
+        raise SynchronyError(f"latches appear twice in the tree: {duplicates}")
+    return tree
+
+
+def _duplicate_leaves(tree: SyncTree) -> List[str]:
+    seen: Set[str] = set()
+    dups: List[str] = []
+    for leaf in tree.leaves():
+        if leaf in seen:
+            dups.append(leaf)
+        seen.add(leaf)
+    return dups
+
+
+def validate_tree(tree: SyncTree, latch_outputs: Set[str]) -> None:
+    """Every leaf must name a latch output."""
+    unknown = [leaf for leaf in tree.leaves() if leaf not in latch_outputs]
+    if unknown:
+        raise SynchronyError(f"synchrony leaves are not latches: {unknown}")
+
+
+def enumerate_update_sets(tree: SyncTree) -> List[Set[str]]:
+    """All possible update subsets (explicit; for tests and small trees)."""
+    if isinstance(tree, SyncLeaf):
+        return [{tree.latch}]
+    child_sets = [enumerate_update_sets(c) for c in tree.children]
+    if tree.label == "A":
+        out: List[Set[str]] = []
+        for sets in child_sets:
+            out.extend(sets)
+        return out
+    # S: union of one choice per child
+    out = [set()]
+    for sets in child_sets:
+        out = [prev | chosen for prev in out for chosen in sets]
+    return out

@@ -1,0 +1,479 @@
+"""hsis: the interactive shell tying the environment together (Figure 1).
+
+The command set mirrors the HSIS workflow: read a design (Verilog or
+BLIF-MV), read properties (PIF), build the transition relation with an
+early-quantification schedule, compute reached states, run the model
+checker and the language-containment checker, and debug failures::
+
+    hsis> read_verilog design.v
+    hsis> read_pif props.pif
+    hsis> build_tr greedy
+    hsis> comp_reach
+    hsis> mc                # all CTL properties from the PIF file
+    hsis> lc                # all automata properties from the PIF file
+    hsis> debug_mc mutex    # interactive formula unfolding
+    hsis> sim_random 20
+
+Run ``hsis script.cmd`` to execute a command file, or ``hsis`` for a
+REPL.  Every command is also usable programmatically through
+:class:`HsisShell` (the test suite drives it that way).
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.blifmv import flatten, parse_file as parse_blifmv_file, write_file
+from repro.ctl import ModelChecker, parse_ctl
+from repro.debug import CtlDebugger, format_lc_report
+from repro.lc import check_containment
+from repro.network import SymbolicFsm
+from repro.pif import PifFile, parse_pif_file
+from repro.sim import Simulator
+from repro.verilog import compile_verilog
+
+
+class CliError(Exception):
+    """User-facing command errors (bad arguments, missing state)."""
+
+
+class HsisShell:
+    """Stateful command interpreter; each command returns its output text."""
+
+    def __init__(self) -> None:
+        self.design = None
+        self.flat = None
+        self.fsm: Optional[SymbolicFsm] = None
+        self.pif: Optional[PifFile] = None
+        self.reach = None
+        self.simulator: Optional[Simulator] = None
+        self.checker: Optional[ModelChecker] = None
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "read_blif_mv": self.cmd_read_blif_mv,
+            "read_verilog": self.cmd_read_verilog,
+            "read_pif": self.cmd_read_pif,
+            "write_blif_mv": self.cmd_write_blif_mv,
+            "build_tr": self.cmd_build_tr,
+            "comp_reach": self.cmd_comp_reach,
+            "print_stats": self.cmd_print_stats,
+            "mc": self.cmd_mc,
+            "lc": self.cmd_lc,
+            "debug_mc": self.cmd_debug_mc,
+            "debug_mc_interactive": self.cmd_debug_mc_interactive,
+            "sim_init": self.cmd_sim_init,
+            "sim_step": self.cmd_sim_step,
+            "sim_random": self.cmd_sim_random,
+            "coi": self.cmd_coi,
+            "delay": self.cmd_delay,
+            "bisim": self.cmd_bisim,
+            "refine": self.cmd_refine,
+            "write_dot": self.cmd_write_dot,
+            "help": self.cmd_help,
+        }
+        self.input_fn = input  # overridable for scripted interaction
+
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Execute one command line; returns printable output."""
+        parts = shlex.split(line, comments=True)
+        if not parts:
+            return ""
+        command, args = parts[0], parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            raise CliError(f"unknown command {command!r} (try 'help')")
+        return handler(args)
+
+    def run_script(self, lines) -> str:
+        out = []
+        for line in lines:
+            result = self.execute(line)
+            if result:
+                out.append(result)
+        return "\n".join(out)
+
+    # -- design loading ---------------------------------------------------
+
+    def _after_load(self) -> str:
+        assert self.design is not None
+        start = time.perf_counter()
+        self.flat = flatten(self.design)
+        self.fsm = SymbolicFsm(self.flat)
+        self.reach = None
+        self.simulator = None
+        self.checker = None
+        elapsed = time.perf_counter() - start
+        return (
+            f"loaded {self.design.root}: {len(self.flat.latches)} latches, "
+            f"{len(self.flat.tables)} tables ({elapsed:.2f}s encode)"
+        )
+
+    def cmd_read_blif_mv(self, args: List[str]) -> str:
+        """read_blif_mv <file> — load a BLIF-MV design."""
+        if len(args) != 1:
+            raise CliError("usage: read_blif_mv <file>")
+        self.design = parse_blifmv_file(args[0])
+        return self._after_load()
+
+    def cmd_read_verilog(self, args: List[str]) -> str:
+        """read_verilog <file> [root] — compile Verilog via vl2mv and load."""
+        if len(args) not in (1, 2):
+            raise CliError("usage: read_verilog <file> [root-module]")
+        with open(args[0]) as handle:
+            self.design = compile_verilog(
+                handle.read(), root=args[1] if len(args) == 2 else None
+            )
+        return self._after_load()
+
+    def cmd_read_pif(self, args: List[str]) -> str:
+        """read_pif <file> — load properties and fairness constraints."""
+        if len(args) != 1:
+            raise CliError("usage: read_pif <file>")
+        self.pif = parse_pif_file(args[0])
+        return (
+            f"loaded {len(self.pif.ctl_props)} CTL properties, "
+            f"{len(self.pif.automata)} automata, "
+            f"{len(self.pif.fairness)} fairness constraints"
+        )
+
+    def cmd_write_blif_mv(self, args: List[str]) -> str:
+        """write_blif_mv <file> — dump the loaded design as BLIF-MV."""
+        if len(args) != 1:
+            raise CliError("usage: write_blif_mv <file>")
+        if self.design is None:
+            raise CliError("no design loaded")
+        write_file(self.design, args[0])
+        return f"wrote {args[0]}"
+
+    # -- core verification flow ---------------------------------------------
+
+    def _need_fsm(self) -> SymbolicFsm:
+        if self.fsm is None:
+            raise CliError("no design loaded (read_blif_mv / read_verilog first)")
+        return self.fsm
+
+    def cmd_build_tr(self, args: List[str]) -> str:
+        """build_tr [greedy|linear|monolithic] — build the product relation."""
+        method = args[0] if args else "greedy"
+        fsm = self._need_fsm()
+        start = time.perf_counter()
+        trans = fsm.build_transition(method=method)
+        elapsed = time.perf_counter() - start
+        assert fsm.quantify_result is not None
+        return (
+            f"transition relation: {fsm.bdd.size(trans)} nodes "
+            f"(peak {fsm.quantify_result.peak_size}, schedule={method}, "
+            f"{elapsed:.2f}s)"
+        )
+
+    def cmd_comp_reach(self, args: List[str]) -> str:
+        """comp_reach [--partitioned] — compute the reachable states."""
+        fsm = self._need_fsm()
+        partitioned = "--partitioned" in args
+        self.reach = fsm.reachable(partitioned=partitioned)
+        return (
+            f"reached {fsm.count_states(self.reach.reached)} states in "
+            f"{self.reach.iterations} iterations ({self.reach.seconds:.2f}s)"
+        )
+
+    def cmd_print_stats(self, args: List[str]) -> str:
+        """print_stats — BDD manager and design statistics."""
+        fsm = self._need_fsm()
+        stats = fsm.bdd.stats()
+        lines = [
+            f"latches: {len(fsm.latches)}",
+            f"conjuncts: {len(fsm.conjuncts)}",
+            "bdd: {live_nodes} live nodes, {variables} boolean vars, "
+            "{cache_entries} cache entries".format(**stats),
+        ]
+        if self.reach is not None:
+            lines.append(f"reached states: {fsm.count_states(self.reach.reached)}")
+        return "\n".join(lines)
+
+    def _make_checker(self) -> ModelChecker:
+        fsm = self._need_fsm()
+        fairness = self.pif.bind_fairness(fsm) if self.pif is not None else None
+        if self.checker is None:
+            self.checker = ModelChecker(
+                fsm,
+                fairness=fairness,
+                reached=self.reach.reached if self.reach is not None else None,
+            )
+        return self.checker
+
+    def cmd_mc(self, args: List[str]) -> str:
+        """mc [formula...] — model check PIF CTL properties (or a formula)."""
+        checker = self._make_checker()
+        jobs = []
+        if args:
+            text = " ".join(args)
+            jobs.append((text, parse_ctl(text)))
+        else:
+            if self.pif is None or not self.pif.ctl_props:
+                raise CliError("no CTL properties loaded; read_pif or pass a formula")
+            jobs = list(self.pif.ctl_props)
+        out = []
+        for name, formula in jobs:
+            result = checker.check(formula)
+            verdict = "passed" if result.holds else "FAILED"
+            out.append(f"mc {name}: {verdict} ({result.seconds:.2f}s)  [{formula}]")
+        return "\n".join(out)
+
+    def cmd_lc(self, args: List[str]) -> str:
+        """lc [name...] — language containment for PIF automata."""
+        if self.pif is None or not self.pif.automata:
+            raise CliError("no automata loaded; read_pif first")
+        if self.design is None:
+            raise CliError("no design loaded")
+        names = args if args else [a.name for a in self.pif.automata]
+        out = []
+        for name in names:
+            automaton = self.pif.automaton(name)
+            # Each LC run attaches a monitor, so it needs a fresh machine.
+            fsm = SymbolicFsm(self.flat)
+            fairness = self.pif.bind_fairness(fsm)
+            result = check_containment(fsm, automaton, system_fairness=fairness)
+            verdict = "passed" if result.holds else "FAILED"
+            out.append(f"lc {name}: {verdict} ({result.seconds:.2f}s)")
+            if not result.holds:
+                out.append(format_lc_report(result))
+        return "\n".join(out)
+
+    def cmd_debug_mc(self, args: List[str]) -> str:
+        """debug_mc <formula|pif-name> — print the CTL explanation tree."""
+        if not args:
+            raise CliError("usage: debug_mc <formula or PIF property name>")
+        text = " ".join(args)
+        formula = None
+        if self.pif is not None:
+            for name, f in self.pif.ctl_props:
+                if name == text:
+                    formula = f
+                    break
+        if formula is None:
+            formula = parse_ctl(text)
+        checker = self._make_checker()
+        debugger = CtlDebugger(checker)
+        return debugger.explain(formula).format()
+
+    def cmd_debug_mc_interactive(self, args: List[str]) -> str:
+        """debug_mc_interactive <formula> — unfold a formula step by step.
+
+        At each node the sub-formulas responsible for the verdict are
+        listed; type a number to descend (the paper §6.2 interaction:
+        'the user can be given the choice of choosing which formula he
+        wants certified false'), 'u' to go back up, 'q' to stop.
+        """
+        if not args:
+            raise CliError("usage: debug_mc_interactive <formula>")
+        checker = self._make_checker()
+        debugger = CtlDebugger(checker)
+        node = debugger.explain(parse_ctl(" ".join(args)))
+        stack = [node]
+        transcript: List[str] = []
+        while True:
+            current = stack[-1]
+            verdict = "holds" if current.holds else "FAILS"
+            transcript.append(f"{current.formula}  {verdict}")
+            if current.note:
+                transcript.append(f"  note: {current.note}")
+            for step in current.path:
+                transcript.append(f"  | {step.format()}")
+            for index, child in enumerate(current.children):
+                child_verdict = "holds" if child.holds else "FAILS"
+                transcript.append(f"  [{index}] {child.formula}  {child_verdict}")
+            if not current.children:
+                transcript.append("  (leaf)")
+            try:
+                choice = self.input_fn("debug> ").strip()
+            except EOFError:
+                break
+            if choice in ("q", "quit", ""):
+                break
+            if choice in ("u", "up"):
+                if len(stack) > 1:
+                    stack.pop()
+                continue
+            try:
+                index = int(choice)
+                stack.append(current.children[index])
+            except (ValueError, IndexError):
+                transcript.append(f"  ? bad choice {choice!r}")
+        return "\n".join(transcript)
+
+    # -- abstraction / timing / minimization -----------------------------------
+
+    def cmd_coi(self, args: List[str]) -> str:
+        """coi <net...> — reduce the design to the cone of influence."""
+        from repro.network.abstraction import cone_of_influence
+
+        if not args:
+            raise CliError("usage: coi <observed-net...>")
+        if self.flat is None:
+            raise CliError("no design loaded")
+        reduced, report = cone_of_influence(self.flat, args)
+        self.flat = reduced
+        self.fsm = SymbolicFsm(reduced)
+        self.reach = None
+        self.checker = None
+        self.simulator = None
+        return (
+            f"cone of influence: kept {len(report.kept_latches)} latches "
+            f"({report.kept_tables} tables), dropped "
+            f"{len(report.dropped_latches)} latches "
+            f"({report.dropped_tables} tables)"
+        )
+
+    def cmd_delay(self, args: List[str]) -> str:
+        """delay <latch> <min> <max> — attach an inertial delay bound."""
+        from repro.network.timing import DelayBound, elaborate_delays
+
+        if len(args) != 3:
+            raise CliError("usage: delay <latch-output> <min> <max>")
+        if self.flat is None:
+            raise CliError("no design loaded")
+        bound = DelayBound(int(args[1]), int(args[2]))
+        self.flat = elaborate_delays(self.flat, {args[0]: bound})
+        self.fsm = SymbolicFsm(self.flat)
+        self.reach = None
+        self.checker = None
+        self.simulator = None
+        return (
+            f"latch {args[0]!r} delayed by [{bound.low}, {bound.high}] ticks "
+            f"({len(self.flat.latches)} latches total)"
+        )
+
+    def cmd_bisim(self, args: List[str]) -> str:
+        """bisim [net=value...] — bisimulation quotient statistics."""
+        from repro.minimize import bisimulation_partition, quotient_size
+
+        fsm = self._need_fsm()
+        fsm.require_transition()
+        checker = self._make_checker()
+        observables = [checker.eval(spec) for spec in args]
+        within = self.reach.reached if self.reach is not None else None
+        partition = bisimulation_partition(fsm, observables, within=within)
+        total = fsm.count_states(
+            within if within is not None else fsm.state_domain())
+        return (
+            f"bisimulation: {total} states -> {quotient_size(partition)} "
+            f"classes ({partition.iterations} refinement passes)"
+        )
+
+    def cmd_refine(self, args: List[str]) -> str:
+        """refine <spec.mv|spec.v> <observable...> — check refinement."""
+        from repro.refine import check_refinement
+
+        if len(args) < 2:
+            raise CliError("usage: refine <spec-file> <observable...>")
+        if self.flat is None:
+            raise CliError("no design loaded")
+        path = args[0]
+        if path.endswith(".v"):
+            with open(path) as handle:
+                spec = flatten(compile_verilog(handle.read()))
+        else:
+            spec = flatten(parse_blifmv_file(path))
+        result = check_refinement(self.flat, spec, args[1:])
+        if result.holds:
+            return (
+                f"refinement HOLDS: {self.flat.name} refines {spec.name} "
+                f"on {args[1:]} ({result.iterations} iterations)"
+            )
+        state = " ".join(
+            f"{k}={v}" for k, v in sorted((result.unmatched_initial or {}).items())
+        )
+        return f"refinement FAILS: unmatched initial state {state}"
+
+    def cmd_write_dot(self, args: List[str]) -> str:
+        """write_dot <file> — dump the transition relation as Graphviz."""
+        from repro.bdd.dump import to_dot
+
+        if len(args) != 1:
+            raise CliError("usage: write_dot <file>")
+        fsm = self._need_fsm()
+        roots = {"trans": fsm.require_transition(), "init": fsm.init}
+        if self.reach is not None:
+            roots["reached"] = self.reach.reached
+        with open(args[0], "w") as handle:
+            handle.write(to_dot(fsm.bdd, roots))
+        return f"wrote {args[0]} ({fsm.bdd.size(list(roots.values()))} nodes)"
+
+    # -- simulation -----------------------------------------------------------
+
+    def _need_sim(self) -> Simulator:
+        if self.simulator is None:
+            self.simulator = Simulator(self._need_fsm(), seed=0)
+            self.simulator.reset()
+        return self.simulator
+
+    def cmd_sim_init(self, args: List[str]) -> str:
+        """sim_init — (re)start simulation from an initial state."""
+        sim = Simulator(self._need_fsm(), seed=0)
+        self.simulator = sim
+        state = sim.reset()
+        return "simulation at " + " ".join(
+            f"{k}={v}" for k, v in sorted(state.items())
+        )
+
+    def cmd_sim_step(self, args: List[str]) -> str:
+        """sim_step [choice] — advance one tick (optionally pick successor)."""
+        sim = self._need_sim()
+        choice = int(args[0]) if args else None
+        state = sim.step(choice=choice)
+        return "-> " + " ".join(f"{k}={v}" for k, v in sorted(state.items()))
+
+    def cmd_sim_random(self, args: List[str]) -> str:
+        """sim_random <n> — run n random steps and report coverage."""
+        steps = int(args[0]) if args else 10
+        sim = self._need_sim()
+        sim.run(steps)
+        return (
+            f"ran {steps} steps, visited {sim.visited_count()} distinct states\n"
+            + sim.trace.format()
+        )
+
+    def cmd_help(self, args: List[str]) -> str:
+        """help — list commands."""
+        lines = []
+        for name in sorted(self._commands):
+            doc = (self._commands[name].__doc__ or "").strip().splitlines()
+            lines.append(doc[0] if doc else name)
+        return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``hsis`` console script."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    shell = HsisShell()
+    if args:
+        with open(args[0]) as handle:
+            try:
+                print(shell.run_script(handle))
+            except CliError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        return 0
+    print("HSIS reproduction shell — 'help' lists commands, ctrl-D exits")
+    while True:
+        try:
+            line = input("hsis> ")
+        except EOFError:
+            print()
+            return 0
+        try:
+            output = shell.execute(line)
+            if output:
+                print(output)
+        except CliError as exc:
+            print(f"error: {exc}")
+        except Exception as exc:  # keep the REPL alive on internal errors
+            print(f"internal error: {exc}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

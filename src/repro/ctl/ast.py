@@ -1,0 +1,189 @@
+"""CTL formula AST (fair CTL, paper §5.2).
+
+Atoms are multi-valued: ``var = value`` (or ``var in {v1, v2}``); a bare
+variable name abbreviates ``var = 1`` for binary nets.  Universal
+operators are kept in the AST for faithful printing and debugging, and
+rewritten into existential duals inside the model checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Formula:
+    """Base class; all formulas are immutable and hashable."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    def __str__(self) -> str:
+        return "FALSE"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """``var in values`` over a system net (latch or wire)."""
+
+    var: str
+    values: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        if len(self.values) == 1:
+            return f"{self.var}={self.values[0]}"
+        return "{}in{{{}}}".format(self.var, ",".join(self.values))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"!{_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} & {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} | {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} -> {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} <-> {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class EX(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"EX {_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class EF(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"EF {_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class EG(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"EG {_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class EU(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"E[{self.left} U {self.right}]"
+
+
+@dataclass(frozen=True)
+class AX(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"AX {_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class AF(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"AF {_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class AG(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"AG {_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class AU(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"A[{self.left} U {self.right}]"
+
+
+def _paren(f: Formula) -> str:
+    text = str(f)
+    if isinstance(f, (Atom, TrueF, FalseF, Not, EX, EF, EG, AX, AF, AG, EU, AU)):
+        return text
+    return f"({text})"
+
+
+def is_propositional(f: Formula) -> bool:
+    """True iff ``f`` contains no temporal operator.
+
+    Propositional ``AG`` bodies get the forward-reachability fast path
+    (invariance optimization, paper §5.2 item 3).
+    """
+    if isinstance(f, (Atom, TrueF, FalseF)):
+        return True
+    if isinstance(f, Not):
+        return is_propositional(f.sub)
+    if isinstance(f, (And, Or, Implies, Iff)):
+        return is_propositional(f.left) and is_propositional(f.right)
+    return False
+
+
+def atom(var: str, values) -> Atom:
+    """Atom ``var in values`` (single value or iterable)."""
+    if isinstance(values, (str, int)):
+        values = (str(values),)
+    return Atom(var, tuple(str(v) for v in values))

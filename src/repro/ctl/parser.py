@@ -1,0 +1,198 @@
+"""Recursive-descent parser for CTL formulas.
+
+Grammar (precedence low to high)::
+
+    formula  := iff
+    iff      := implies ( '<->' implies )*
+    implies  := or   ( '->' implies )?          (right associative)
+    or       := and  ( ('|' | '+') and )*
+    and      := unary ( ('&' | '*') unary )*
+    unary    := '!' unary
+              | ('AG'|'AF'|'AX'|'EG'|'EF'|'EX') unary
+              | ('A'|'E') '[' formula 'U' formula ']'
+              | 'TRUE' | 'FALSE'
+              | atom
+              | '(' formula ')'
+    atom     := name ( '=' value | 'in' '{' value (',' value)* '}' )?
+
+A bare name abbreviates ``name=1`` (binary nets).  Names may contain
+dots and ``#`` (flattened instance paths and next-state suffixes).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ctl.ast import (
+    AF,
+    AG,
+    AU,
+    AX,
+    And,
+    Atom,
+    EF,
+    EG,
+    EU,
+    EX,
+    FalseF,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueF,
+)
+
+
+class CtlParseError(Exception):
+    """Raised on malformed CTL text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow><->|->)
+  | (?P<op>[!&|*+()\[\]{}=,])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.\#\-']*|[0-9]+)
+    """,
+    re.VERBOSE,
+)
+
+_TEMPORAL_UNARY = {"AG": AG, "AF": AF, "AX": AX, "EG": EG, "EF": EF, "EX": EX}
+
+
+def tokenize(text: str) -> List[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise CtlParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise CtlParseError("unexpected end of formula")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise CtlParseError(f"expected {token!r}, got {got!r}")
+
+    # precedence climbing ------------------------------------------------
+
+    def formula(self) -> Formula:
+        return self.iff()
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.peek() == "<->":
+            self.next()
+            left = Iff(left, self.implies())
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self.peek() == "->":
+            self.next()
+            return Implies(left, self.implies())
+        return left
+
+    def or_(self) -> Formula:
+        left = self.and_()
+        while self.peek() in ("|", "+"):
+            self.next()
+            left = Or(left, self.and_())
+        return left
+
+    def and_(self) -> Formula:
+        left = self.unary()
+        while self.peek() in ("&", "*"):
+            self.next()
+            left = And(left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        tok = self.peek()
+        if tok is None:
+            raise CtlParseError("unexpected end of formula")
+        if tok == "!":
+            self.next()
+            return Not(self.unary())
+        if tok == "(":
+            self.next()
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        if tok in _TEMPORAL_UNARY:
+            self.next()
+            return _TEMPORAL_UNARY[tok](self.unary())
+        if tok in ("A", "E"):
+            self.next()
+            self.expect("[")
+            left = self.formula()
+            u = self.next()
+            if u != "U":
+                raise CtlParseError(f"expected 'U' in until, got {u!r}")
+            right = self.formula()
+            self.expect("]")
+            return AU(left, right) if tok == "A" else EU(left, right)
+        if tok in ("TRUE", "true", "1"):
+            self.next()
+            return TrueF()
+        if tok in ("FALSE", "false", "0"):
+            self.next()
+            return FalseF()
+        return self.atom()
+
+    def atom(self) -> Formula:
+        name = self.next()
+        if not re.match(r"^[A-Za-z_]", name):
+            raise CtlParseError(f"bad atom name {name!r}")
+        if self.peek() == "=":
+            self.next()
+            value = self.next()
+            return Atom(name, (value,))
+        if self.peek() == "in":  # pragma: no cover - 'in' lexes as a name
+            self.next()
+            self.expect("{")
+            values = [self.next()]
+            while self.peek() == ",":
+                self.next()
+                values.append(self.next())
+            self.expect("}")
+            return Atom(name, tuple(values))
+        if self.peek() == "{":
+            self.next()
+            values = [self.next()]
+            while self.peek() == ",":
+                self.next()
+                values.append(self.next())
+            self.expect("}")
+            return Atom(name, tuple(values))
+        return Atom(name, ("1",))
+
+
+def parse_ctl(text: str) -> Formula:
+    """Parse CTL text into a :class:`~repro.ctl.ast.Formula`."""
+    parser = _Parser(tokenize(text))
+    result = parser.formula()
+    if parser.peek() is not None:
+        raise CtlParseError(f"trailing input: {parser.tokens[parser.pos:]}")
+    return result

@@ -1,0 +1,25 @@
+"""Debugging environment: error traces for LC and interactive CTL debugging."""
+
+from repro.debug.trace import (
+    Trace,
+    TraceStep,
+    decode_path,
+    extract_shortest_path,
+    shortest_path_within,
+    thread_fair_cycle,
+)
+from repro.debug.lcdebug import format_lc_report, lc_counterexample
+from repro.debug.mcdebug import CtlDebugger, DebugNode
+
+__all__ = [
+    "Trace",
+    "TraceStep",
+    "decode_path",
+    "extract_shortest_path",
+    "shortest_path_within",
+    "thread_fair_cycle",
+    "format_lc_report",
+    "lc_counterexample",
+    "CtlDebugger",
+    "DebugNode",
+]

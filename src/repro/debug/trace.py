@@ -1,0 +1,176 @@
+"""Error-trace infrastructure shared by the LC and CTL debuggers (paper §6).
+
+A counterexample to a linear/branching property is a *lasso*: a finite
+prefix from an initial state followed by a cycle.  The prefix is made
+minimal by construction (the BFS onion rings of the reachability run give
+the exact depth of every state, so walking them backwards yields a
+shortest path); the cycle is heuristically minimized by greedy
+shortest-path threading through the required fair-edge sets — the cycle
+minimization problem itself is NP-hard (paper §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.ops import minterm
+from repro.lc.faircycle import FairGraph, FairScc
+
+
+@dataclass
+class TraceStep:
+    """One state of a trace, decoded to latch values."""
+
+    state: Dict[str, str]
+    note: str = ""
+
+    def format(self, names: Optional[Sequence[str]] = None) -> str:
+        keys = names if names is not None else sorted(self.state)
+        body = " ".join(f"{k}={self.state[k]}" for k in keys)
+        return f"{body}  {self.note}".rstrip()
+
+
+@dataclass
+class Trace:
+    """A lasso-shaped error trace: ``prefix`` then ``cycle`` repeated."""
+
+    prefix: List[TraceStep] = field(default_factory=list)
+    cycle: List[TraceStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.prefix) + len(self.cycle)
+
+    def format(self, names: Optional[Sequence[str]] = None) -> str:
+        lines = []
+        for i, step in enumerate(self.prefix):
+            lines.append(f"  {i:3d}: {step.format(names)}")
+        if self.cycle:
+            lines.append("  --- cycle (repeats forever) ---")
+            for i, step in enumerate(self.cycle):
+                lines.append(f"  {i + len(self.prefix):3d}: {step.format(names)}")
+        return "\n".join(lines)
+
+
+def pick_minterm(graph: FairGraph, states: int) -> Optional[int]:
+    """One concrete state of ``states`` as a cube BDD."""
+    return graph.pick_state(states)
+
+
+def extract_shortest_path(
+    graph: FairGraph, rings: Sequence[int], target: int
+) -> Optional[List[int]]:
+    """Shortest path from ring 0 to ``target`` using BFS onion rings.
+
+    ``rings[k]`` must hold exactly the states first reached at depth
+    ``k``.  Returns a list of state minterms, or None if ``target`` is
+    not inside any ring.  The path length is minimal because the first
+    ring intersecting the target gives the true BFS distance.
+    """
+    bdd = graph.bdd
+    depth = None
+    for k, ring in enumerate(rings):
+        if bdd.and_(ring, target) != bdd.false:
+            depth = k
+            break
+    if depth is None:
+        return None
+    current = pick_minterm(graph, bdd.and_(rings[depth], target))
+    assert current is not None
+    path = [current]
+    for k in range(depth - 1, -1, -1):
+        preds = bdd.and_(rings[k], graph.pre(current))
+        current = pick_minterm(graph, preds)
+        assert current is not None, "onion rings are inconsistent"
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def shortest_path_within(
+    graph: FairGraph, region: int, source: int, target: int, trans: int
+) -> Optional[List[int]]:
+    """Shortest path inside ``region`` from ``source`` (a minterm) to
+    ``target`` (a set), under sub-relation ``trans``.
+
+    Length-zero paths are allowed (source intersects target).  Returns
+    minterm list or None if unreachable.
+    """
+    bdd = graph.bdd
+    if bdd.and_(source, target) != bdd.false:
+        return [source]
+    rings = [bdd.and_(source, region)]
+    reached = rings[0]
+    while True:
+        frontier = bdd.diff(bdd.and_(graph.post(rings[-1], trans), region), reached)
+        if frontier == bdd.false:
+            return None
+        rings.append(frontier)
+        reached = bdd.or_(reached, frontier)
+        if bdd.and_(frontier, target) != bdd.false:
+            break
+    # Walk backwards.
+    current = pick_minterm(graph, bdd.and_(rings[-1], target))
+    assert current is not None
+    path = [current]
+    for k in range(len(rings) - 2, -1, -1):
+        preds = bdd.and_(rings[k], graph.pre(current, trans))
+        current = pick_minterm(graph, preds)
+        assert current is not None
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def thread_fair_cycle(graph: FairGraph, scc: FairScc, anchor: int) -> List[int]:
+    """A cycle through ``anchor`` inside ``scc`` visiting every required
+    edge set (greedy heuristic minimization, paper §6.1).
+
+    Returns the cycle as minterms starting at ``anchor``; the successor
+    of the last state is ``anchor`` again.
+    """
+    bdd = graph.bdd
+    current = anchor
+    states: List[int] = [anchor]
+    for edges, _label in scc.required_edges:
+        if edges == bdd.false:
+            continue
+        sources = graph.edge_sources(edges, scc.trans)
+        leg = shortest_path_within(graph, scc.states, current, sources, scc.trans)
+        assert leg is not None, "required edge not reachable inside its SCC"
+        states.extend(leg[1:])
+        src = leg[-1]
+        dst_set = graph.post(src, bdd.and_(scc.trans, edges))
+        dst = pick_minterm(graph, dst_set)
+        assert dst is not None
+        states.append(dst)
+        current = dst
+    if current == anchor and len(states) == 1:
+        # No required edges: take any single step first so the cycle is
+        # non-empty.
+        step = pick_minterm(graph, graph.post(current, scc.trans))
+        assert step is not None
+        states.append(step)
+        current = step
+    closing = shortest_path_within(graph, scc.states, current, anchor, scc.trans)
+    assert closing is not None, "SCC is not strongly connected?"
+    states.extend(closing[1:])
+    # states starts and ends at anchor; drop the duplicated anchor.
+    if len(states) > 1 and states[-1] == anchor:
+        states.pop()
+    return states
+
+
+def decode_path(fsm, path: Sequence[int], note_for: Optional[Dict[int, str]] = None) -> List[TraceStep]:
+    """Minterm path -> decoded trace steps."""
+    steps = []
+    for node in path:
+        cube = fsm.bdd.pick_cube(node, fsm.x_bits())
+        assert cube is not None
+        steps.append(
+            TraceStep(
+                state=fsm.decode_state(cube),
+                note=(note_for or {}).get(node, ""),
+            )
+        )
+    return steps

@@ -1,0 +1,24 @@
+"""Language containment: emptiness, fair cycles, early failure detection."""
+
+from repro.lc.containment import LcResult, check_containment, language_empty
+from repro.lc.earlyfail import doomed_states, early_violation
+from repro.lc.faircycle import (
+    FairGraph,
+    FairScc,
+    all_fair_states,
+    fair_hull,
+    find_fair_scc,
+)
+
+__all__ = [
+    "LcResult",
+    "check_containment",
+    "language_empty",
+    "doomed_states",
+    "early_violation",
+    "FairGraph",
+    "FairScc",
+    "all_fair_states",
+    "fair_hull",
+    "find_fair_scc",
+]

@@ -1,0 +1,167 @@
+"""Language containment checking (paper §5.2-5.4).
+
+``L(system) ⊆ L(property)`` is decided as language emptiness of the
+product machine: attach the (deterministic, completed) property automaton
+as a monitor, complement its edge-Rabin acceptance into Streett
+constraints, and search for a reachable cycle that is fair for the system
+fairness constraints *and* the complemented acceptance.  A fair cycle is
+a counterexample; none means containment holds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.automata.automaton import AttachedMonitor, Automaton, attach
+from repro.automata.fairness import (
+    FairnessSpec,
+    NormalizedFairness,
+    complement_rabin,
+)
+from repro.blifmv.ast import Model
+from repro.lc.earlyfail import doomed_states, early_violation
+from repro.lc.faircycle import FairGraph, FairScc, find_fair_scc
+from repro.network.fsm import ReachResult, SymbolicFsm
+
+
+@dataclass
+class LcResult:
+    """Outcome of one language-containment check."""
+
+    automaton: Automaton
+    holds: bool
+    fair_scc: Optional[FairScc]
+    monitor: AttachedMonitor
+    fsm: SymbolicFsm
+    graph: FairGraph
+    reach: ReachResult
+    fairness: NormalizedFairness
+    seconds: float
+    early_failure: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return not self.holds
+
+
+class _EarlyStop(Exception):
+    def __init__(self, scc: FairScc, depth: int):
+        self.scc = scc
+        self.depth = depth
+
+
+def check_containment(
+    system: Union[Model, SymbolicFsm],
+    automaton: Automaton,
+    system_fairness: Optional[FairnessSpec] = None,
+    quantify_method: str = "greedy",
+    early_fail: bool = True,
+    early_fail_interval: int = 4,
+) -> LcResult:
+    """Check that every fair behaviour of ``system`` is accepted by
+    ``automaton``.
+
+    ``system`` is a flat model (a fresh machine is encoded) or an
+    un-built :class:`SymbolicFsm` (so several monitors could share one
+    machine).  With ``early_fail`` the doomed-region check of
+    :mod:`repro.lc.earlyfail` runs every ``early_fail_interval``
+    reachability steps.
+    """
+    start = time.perf_counter()
+    fsm = system if isinstance(system, SymbolicFsm) else SymbolicFsm(system)
+    monitor = attach(fsm, automaton)
+    fsm.build_transition(method=quantify_method)
+    graph = FairGraph(fsm)
+    bdd = fsm.bdd
+
+    spec = system_fairness if system_fairness is not None else FairnessSpec()
+    sys_norm = spec.normalize(bdd, bdd.true)
+    property_streett = complement_rabin(monitor.rabin_pairs_bdd())
+    combined = FairnessSpec(list(spec) + list(property_streett)).normalize(
+        bdd, bdd.true
+    )
+
+    doomed = doomed_states(monitor.automaton)
+    doomed_bdd = monitor.state_bdd(doomed) if doomed else bdd.false
+    early_scc: Optional[FairScc] = None
+    early_depth: Optional[int] = None
+
+    reached_acc = [fsm.init]
+    doomed_hit = [False]
+
+    def observer(depth: int, frontier: int) -> None:
+        reached_acc[0] = bdd.or_(reached_acc[0], frontier)
+        if not early_fail or doomed_bdd == bdd.false:
+            return
+        if bdd.and_(frontier, doomed_bdd) == bdd.false:
+            return
+        first_hit = not doomed_hit[0]
+        doomed_hit[0] = True
+        # Check immediately when the doomed region is first entered, then
+        # periodically (most bugs surface within the first few steps, §5.4).
+        if not first_hit and depth % early_fail_interval != 0:
+            return
+        scc = early_violation(graph, sys_norm, reached_acc[0], doomed_bdd)
+        if scc is not None:
+            raise _EarlyStop(scc, depth)
+
+    try:
+        reach = fsm.reachable(observer=observer)
+    except _EarlyStop as stop:
+        early_scc = stop.scc
+        early_depth = stop.depth
+        reach = ReachResult(
+            reached=reached_acc[0],
+            rings=[],
+            iterations=early_depth,
+            converged=False,
+            seconds=0.0,
+        )
+        # Rebuild the onion rings up to the stop depth for the debugger.
+        reach = fsm.reachable(max_iterations=early_depth + 1)
+
+    if early_scc is not None:
+        return LcResult(
+            automaton=automaton,
+            holds=False,
+            fair_scc=early_scc,
+            monitor=monitor,
+            fsm=fsm,
+            graph=graph,
+            reach=reach,
+            fairness=combined,
+            seconds=time.perf_counter() - start,
+            early_failure=True,
+        )
+
+    scc = find_fair_scc(graph, combined, reach.reached)
+    return LcResult(
+        automaton=automaton,
+        holds=scc is None,
+        fair_scc=scc,
+        monitor=monitor,
+        fsm=fsm,
+        graph=graph,
+        reach=reach,
+        fairness=combined,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def language_empty(
+    fsm: SymbolicFsm,
+    fairness: Optional[FairnessSpec] = None,
+) -> bool:
+    """True iff the machine has no reachable fair run (no monitor involved).
+
+    Useful on its own: an abstraction whose language is empty is trivial
+    and hence useless (paper §5 on why fairness constraints are needed).
+    """
+    bdd = fsm.bdd
+    graph = FairGraph(fsm)
+    spec = fairness if fairness is not None else FairnessSpec()
+    normalized = spec.normalize(bdd, bdd.true)
+    reached = fsm.reachable().reached
+    return find_fair_scc(graph, normalized, reached) is None

@@ -1,0 +1,91 @@
+"""Early failure detection (paper §5.4).
+
+Verification is mostly run on properties that *fail*, so HSIS spends
+effort detecting failures before the full fair-path computation:
+
+1. **Frontier checking** — take a few reachability steps and check the
+   property on the subset of states reached so far.  If it fails on a
+   subset, it fails on the whole reachable set.  (For model checking this
+   lives in the ``AG`` fast path of :mod:`repro.ctl.modelcheck`.)
+2. **Fairness-graph structure** — for language containment, inspect the
+   structure of the graph induced by the acceptance conditions: once the
+   monitor enters a *doomed* automaton state (one from which no accepting
+   run can continue, e.g. the trap of a safety monitor), any system-fair
+   infinite continuation is a counterexample, and a fair cycle can be
+   searched in the small already-reached region only.
+
+``doomed_states`` is computed on the automaton digraph with networkx:
+state *s* is hopeful for Rabin pair (fin, inf) iff it can reach — without
+using fin edges for the cyclic part — a strongly connected subgraph
+containing an inf edge and no fin edge.  Doomed = hopeful for no pair.
+This is structural (guards are ignored), hence a sound under-approximation
+of the truly doomed states.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.automata.automaton import Automaton
+from repro.automata.fairness import NormalizedFairness
+from repro.lc.faircycle import FairGraph, FairScc, find_fair_scc
+
+
+def doomed_states(automaton: Automaton) -> Set[str]:
+    """Automaton states from which no accepting run can possibly continue."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(automaton.states)
+    for e in automaton.edges:
+        graph.add_edge(e.src, e.dst)
+    hopeful: Set[str] = set()
+    for fin, inf in automaton.rabin_pairs:
+        # Cyclic part may not use fin edges.
+        pruned = nx.DiGraph()
+        pruned.add_nodes_from(automaton.states)
+        for e in automaton.edges:
+            if (e.src, e.dst) not in fin:
+                pruned.add_edge(e.src, e.dst)
+        good_core: Set[str] = set()
+        for component in nx.strongly_connected_components(pruned):
+            edges_inside = {
+                (u, v)
+                for u, v in pruned.edges(component)
+                if v in component
+            }
+            if not edges_inside:
+                continue
+            if edges_inside & set(inf):
+                good_core |= component
+        if not good_core:
+            continue
+        # The prefix may use any edge.
+        for state in automaton.states:
+            if state in hopeful:
+                continue
+            if state in good_core or any(
+                nx.has_path(graph, state, target) for target in good_core
+            ):
+                hopeful.add(state)
+    return set(automaton.states) - hopeful
+
+
+def early_violation(
+    graph: FairGraph,
+    system_fairness: NormalizedFairness,
+    reached_so_far: int,
+    doomed_bdd: int,
+) -> Optional[FairScc]:
+    """Look for a system-fair cycle inside the doomed, already-reached region.
+
+    Doomed monitor states are closed under transitions, so any system-fair
+    cycle whose states are doomed witnesses a containment failure — no
+    property acceptance complement is needed, which makes this check much
+    cheaper than the full fair-path computation.
+    """
+    bdd = graph.bdd
+    region = bdd.and_(reached_so_far, doomed_bdd)
+    if region == bdd.false:
+        return None
+    return find_fair_scc(graph, system_fairness, region)

@@ -1,0 +1,23 @@
+"""Bisimulation minimization and don't-care BDD reduction."""
+
+from repro.minimize.bisim import (
+    MinimizeReport,
+    PartitionResult,
+    bisimulation_partition,
+    initial_partition,
+    minimize_with_equivalence,
+    minimize_with_reached,
+    quotient_size,
+    representatives,
+)
+
+__all__ = [
+    "MinimizeReport",
+    "PartitionResult",
+    "bisimulation_partition",
+    "initial_partition",
+    "minimize_with_equivalence",
+    "minimize_with_reached",
+    "quotient_size",
+    "representatives",
+]

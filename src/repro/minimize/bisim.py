@@ -1,0 +1,161 @@
+"""State minimization: bisimulation and don't-care BDD reduction (paper §1
+item 3 and §8 item 2).
+
+Two distinct mechanisms are provided:
+
+* **Symbolic bisimulation partition refinement** — classes are state-set
+  BDDs; the initial partition separates states by their observable
+  predicates, and refinement splits each class against the predecessors
+  of every other class until stable.  The result is the coarsest
+  bisimulation respecting the observables.
+* **Don't-care BDD minimization** — HSIS shrinks intermediate BDDs using
+  don't cares.  Reached-state don't cares minimize the transition
+  relation with Coudert-Madre restrict; bisimulation classes supply a
+  representative-state care set (all non-representative states become
+  don't cares, since an equivalent representative carries their
+  behaviour).  The paper reports "significant reduction in BDD size" —
+  benchmark ``bench_minimize`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.bdd.ops import minterm
+from repro.lc.faircycle import FairGraph
+from repro.network.fsm import SymbolicFsm
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of partition refinement."""
+
+    classes: List[int]
+    iterations: int
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+
+def initial_partition(fsm: SymbolicFsm, observables: Sequence[int], within: int) -> List[int]:
+    """Split ``within`` by every boolean combination of ``observables``."""
+    bdd = fsm.bdd
+    classes = [within]
+    for obs in observables:
+        split: List[int] = []
+        for cls in classes:
+            inside = bdd.and_(cls, obs)
+            outside = bdd.diff(cls, obs)
+            if inside != bdd.false:
+                split.append(inside)
+            if outside != bdd.false:
+                split.append(outside)
+        classes = split
+    return classes
+
+
+def bisimulation_partition(
+    fsm: SymbolicFsm,
+    observables: Sequence[int],
+    within: Optional[int] = None,
+    max_iterations: int = 10_000,
+) -> PartitionResult:
+    """Coarsest bisimulation respecting ``observables`` (state-set BDDs).
+
+    ``within`` restricts the computation (commonly the reached set); it
+    defaults to the whole valid-encoding state space.
+    """
+    bdd = fsm.bdd
+    graph = FairGraph(fsm)
+    space = fsm.state_domain() if within is None else bdd.and_(within, fsm.state_domain())
+    classes = initial_partition(fsm, observables, space)
+    iterations = 0
+    changed = True
+    while changed and iterations < max_iterations:
+        changed = False
+        iterations += 1
+        for splitter in list(classes):
+            pre_split = bdd.and_(graph.pre(splitter), space)
+            new_classes: List[int] = []
+            for cls in classes:
+                inside = bdd.and_(cls, pre_split)
+                outside = bdd.diff(cls, pre_split)
+                if inside != bdd.false and outside != bdd.false:
+                    new_classes.append(inside)
+                    new_classes.append(outside)
+                    changed = True
+                else:
+                    new_classes.append(cls)
+            classes = new_classes
+    return PartitionResult(classes=classes, iterations=iterations)
+
+
+def representatives(fsm: SymbolicFsm, partition: PartitionResult) -> int:
+    """One representative state per class, as a care-set BDD."""
+    bdd = fsm.bdd
+    graph = FairGraph(fsm)
+    care = bdd.false
+    for cls in partition.classes:
+        rep = graph.pick_state(cls)
+        if rep is not None:
+            care = bdd.or_(care, rep)
+    return care
+
+
+@dataclass
+class MinimizeReport:
+    """Size effect of a don't-care minimization."""
+
+    original_nodes: int
+    minimized_nodes: int
+
+    @property
+    def reduction(self) -> float:
+        if self.original_nodes == 0:
+            return 0.0
+        return 1.0 - self.minimized_nodes / self.original_nodes
+
+
+def minimize_with_reached(fsm: SymbolicFsm, reached: Optional[int] = None) -> Tuple[int, MinimizeReport]:
+    """Minimize the transition relation with reached-state don't cares.
+
+    Transitions from unreachable states are free: ``restrict(T, R(x))``
+    keeps exactly the reachable behaviour while (usually) shrinking the
+    BDD.  Returns ``(T_minimized, report)``.
+    """
+    bdd = fsm.bdd
+    trans = fsm.require_transition()
+    if reached is None:
+        reached = fsm.reachable().reached
+    care = bdd.and_(reached, fsm.state_domain())
+    minimized = bdd.restrict_dc(trans, care)
+    return minimized, MinimizeReport(
+        original_nodes=bdd.size(trans), minimized_nodes=bdd.size(minimized)
+    )
+
+
+def minimize_with_equivalence(
+    fsm: SymbolicFsm, partition: PartitionResult
+) -> Tuple[int, MinimizeReport]:
+    """Minimize the transition relation using bisimulation don't cares.
+
+    States outside the representative care set behave like their class
+    representative, so their rows in ``T`` are free (paper §1: "one
+    source of don't cares comes from state equivalences, such as
+    bisimulation").  Sound for any property insensitive to which class
+    member is visited (all observable-respecting properties).
+    """
+    bdd = fsm.bdd
+    trans = fsm.require_transition()
+    care = representatives(fsm, partition)
+    minimized = bdd.restrict_dc(trans, care)
+    return minimized, MinimizeReport(
+        original_nodes=bdd.size(trans), minimized_nodes=bdd.size(minimized)
+    )
+
+
+def quotient_size(partition: PartitionResult) -> int:
+    """Number of states of the bisimulation quotient machine."""
+    return partition.num_classes

@@ -1,0 +1,54 @@
+"""The Table-1 benchmark designs, regenerated from the paper's description.
+
+Each module exports ``verilog(**params)``, ``pif(**params)`` and
+``spec(**params)``; :func:`get_spec` builds a design by its Table-1 name.
+``TABLE1`` lists the names in the paper's row order.
+"""
+
+from typing import Dict
+
+from repro.models import dcnew, gallery, gigamax, mdlc, philos, pingpong, scheduler
+from repro.models.base import DesignSpec, make_spec
+from repro.models.gallery import GALLERY
+
+_BUILDERS = {
+    "philos": philos.spec,
+    "ping pong": pingpong.spec,
+    "gigamax": gigamax.spec,
+    "scheduler": scheduler.spec,
+    "dcnew": dcnew.spec,
+    "2mdlc": mdlc.spec,
+}
+
+TABLE1 = ["philos", "ping pong", "gigamax", "scheduler", "dcnew", "2mdlc"]
+
+# the six Table-1 designs plus the gallery make the paper's "dozen or so
+# small to medium-sized examples"
+_BUILDERS.update(GALLERY)
+
+
+def get_spec(name: str, **params) -> DesignSpec:
+    """Build one of the Table-1 designs by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(**params)
+
+
+__all__ = [
+    "DesignSpec",
+    "GALLERY",
+    "TABLE1",
+    "gallery",
+    "get_spec",
+    "make_spec",
+    "philos",
+    "pingpong",
+    "gigamax",
+    "scheduler",
+    "dcnew",
+    "mdlc",
+]

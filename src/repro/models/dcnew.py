@@ -1,0 +1,124 @@
+"""dcnew — a distributed bus/transfer controller (Table 1: ~2.1e5 states).
+
+Four nodes arbitrate for a shared transfer bus.  An idle node may raise a
+request; when the bus is free a non-deterministic arbiter grants one
+requester, which becomes bus master for a non-deterministically chosen
+transfer length counted down by a 5-bit counter; a 5-bit credit counter
+accumulates completed transfers.  The counters push the reachable space
+into the paper's dcnew regime (hundreds of thousands of states) while
+the control skeleton stays simple.
+
+Table-1 row: 7 CTL formulas, 1 language-containment property.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import DesignSpec, make_spec
+
+DEFAULT_PARAMS = {"n": 4, "width": 6}
+
+
+def verilog(n: int = 4, width: int = 6) -> str:
+    if not 2 <= n <= 4:
+        raise ValueError("dcnew model supports 2..4 nodes")
+    if not 2 <= width <= 6:
+        raise ValueError("counter width must be 2..6")
+    nodes = ", ".join(f"node{i}" for i in range(n))
+    top = (1 << width) - 1
+    nd_pick = ", ".join(str(i) for i in range(n))
+    nd_len = ", ".join(str(v) for v in range(1, 1 << width))
+    lines = [
+        f"// dcnew: distributed transfer controller, N={n} (generated)",
+        "module dcnew;",
+        f"  enum {{ idle, req, master }} reg {nodes};",
+        "  enum { b_free, b_busy } reg bus;",
+        f"  reg [{width - 1}:0] xfer;",
+        f"  reg [{width - 1}:0] credits;",
+        "  wire done;",
+        "",
+        "  initial bus = b_free;",
+        "  initial xfer = 0;",
+        "  initial credits = 0;",
+    ]
+    for i in range(n):
+        lines.append(f"  initial node{i} = idle;")
+    lines += [
+        "",
+        f"  wire [{max(1, (n - 1).bit_length()) - 1}:0] choose;",
+        f"  assign choose = $ND({nd_pick});",
+        "  assign done = (bus == b_busy) && (xfer == 0);",
+        "",
+    ]
+    for i in range(n):
+        lines += [
+            f"  wire want{i}, grant{i};",
+            f"  assign want{i} = $ND(0, 1);",
+            f"  assign grant{i} = (bus == b_free) && (choose == {i}) && "
+            f"(node{i} == req);",
+            "  always @(posedge clk) begin",
+            f"    case (node{i})",
+            f"      idle:   node{i} <= want{i} ? req : idle;",
+            f"      req:    node{i} <= grant{i} ? master : req;",
+            f"      master: node{i} <= done ? idle : master;",
+            "    endcase",
+            "  end",
+            "",
+        ]
+    any_grant = " || ".join(f"grant{i}" for i in range(n))
+    lines += [
+        "  wire granted;",
+        f"  assign granted = {any_grant};",
+        "  always @(posedge clk) begin",
+        "    if (granted) bus <= b_busy;",
+        "    else if (done) bus <= b_free;",
+        "    else bus <= bus;",
+        "  end",
+        "",
+        "  always @(posedge clk) begin",
+        f"    if (granted) xfer <= $ND({nd_len});",
+        "    else if (bus == b_busy && xfer != 0) xfer <= xfer - 1;",
+        "    else xfer <= xfer;",
+        "  end",
+        "",
+        "  always @(posedge clk) begin",
+        f"    if (done) credits <= (credits == {top}) ? 0 : credits + 1;",
+        "    else credits <= credits;",
+        "  end",
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def pif(n: int = 4, width: int = 6) -> str:
+    no_two_masters = " & ".join(
+        f"!(node{i}=master & node{j}=master)"
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+    some_master = " | ".join(f"node{i}=master" for i in range(n))
+    return f"""\
+# --- 7 CTL properties ------------------------------------------------
+ctl single_master :: AG ({no_two_masters})
+ctl free_means_unmastered :: AG (bus=b_free -> !({some_master}))
+ctl master_holds_bus :: AG (node0=master -> bus=b_busy)
+ctl mastery_reachable :: AG EF node0=master
+ctl request_can_win :: AG (node0=req -> EF node0=master)
+ctl bus_recoverable :: AG EF bus=b_free
+ctl transfers_finish :: AG (bus=b_busy -> AF bus=b_free)
+
+# --- 1 language-containment property --------------------------------
+automaton lc_single_master
+  states A B
+  initial A
+  edge A A :: {no_two_masters}
+  edge A B :: !({no_two_masters})
+  edge B B
+  accept invariance A
+end
+"""
+
+
+def spec(n: int = 4, width: int = 6) -> DesignSpec:
+    """Build the dcnew benchmark."""
+    return make_spec("dcnew", verilog(n, width), pif(n, width),
+                     {"n": n, "width": width})

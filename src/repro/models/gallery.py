@@ -1,0 +1,346 @@
+"""Extra verification examples beyond Table 1.
+
+The paper reports exercising HSIS on "a dozen or so small to
+medium-sized examples"; this gallery rounds the six Table-1 designs up
+to that dozen with further classics, each a (Verilog, PIF) pair that the
+test suite verifies end to end:
+
+* ``traffic``   — a two-road traffic-light controller with a car sensor;
+* ``elevator``  — a three-floor elevator with request latching;
+* ``rrarbiter`` — a four-client round-robin bus arbiter;
+* ``vending``   — a coin-operated vending machine with change;
+* ``gcd``       — a Euclidean GCD datapath (terminating computation);
+* ``railroad``  — the classic single-track railroad interlock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.base import DesignSpec, make_spec
+
+
+def traffic() -> DesignSpec:
+    verilog = """\
+// two-road traffic light with a cross-road car sensor
+module traffic;
+  enum { green, yellow, red } reg main_l, cross_l;
+  reg [1:0] timer;
+  wire car;
+  assign car = $ND(0, 1);
+
+  initial main_l = green;
+  initial cross_l = red;
+  initial timer = 0;
+
+  always @(posedge clk) begin
+    case (main_l)
+      green:  if (car && timer >= 2) main_l <= yellow;
+      yellow: main_l <= red;
+      red:    if (timer >= 2) main_l <= green;
+    endcase
+  end
+  always @(posedge clk) begin
+    case (cross_l)
+      red:    if (main_l == yellow) cross_l <= green;
+      green:  if (timer >= 1) cross_l <= yellow;
+      yellow: cross_l <= red;
+    endcase
+  end
+  always @(posedge clk) begin
+    if ((main_l == green && car && timer >= 2) || main_l == yellow
+        || (main_l == red && timer >= 2))
+      timer <= 0;
+    else if (timer == 3)
+      timer <= 3;
+    else
+      timer <= timer + 1;
+  end
+endmodule
+"""
+    pif = """\
+ctl no_double_green :: AG !(main_l=green & cross_l=green)
+ctl yellow_then_red :: AG (main_l=yellow -> AX main_l=red)
+ctl cross_serviceable :: AG EF cross_l=green
+
+automaton lc_no_double_green
+  states A B
+  initial A
+  edge A A :: !(main_l=green & cross_l=green)
+  edge A B :: main_l=green & cross_l=green
+  edge B B
+  accept invariance A
+end
+"""
+    return make_spec("traffic", verilog, pif, {})
+
+
+def elevator() -> DesignSpec:
+    verilog = """\
+// three-floor elevator with request latching
+module elevator;
+  reg [1:0] floor;      // 0..2
+  enum { still, up, down } reg motion;
+  reg req0, req1, req2;
+  wire p0, p1, p2;
+  assign p0 = $ND(0, 1);
+  assign p1 = $ND(0, 1);
+  assign p2 = $ND(0, 1);
+
+  initial floor = 0;
+  initial motion = still;
+  initial req0 = 0;
+  initial req1 = 0;
+  initial req2 = 0;
+
+  wire here0, here1, here2;
+  assign here0 = (floor == 0);
+  assign here1 = (floor == 1);
+  assign here2 = (floor == 2);
+
+  always @(posedge clk) req0 <= (req0 || p0) && !(here0 && motion == still);
+  always @(posedge clk) req1 <= (req1 || p1) && !(here1 && motion == still);
+  always @(posedge clk) req2 <= (req2 || p2) && !(here2 && motion == still);
+
+  wire want_up, want_down;
+  assign want_up = (floor == 0 && (req1 || req2)) || (floor == 1 && req2);
+  assign want_down = (floor == 2 && (req0 || req1)) || (floor == 1 && req0);
+
+  always @(posedge clk) begin
+    case (motion)
+      still: begin
+        if (want_up) motion <= up;
+        else if (want_down) motion <= down;
+      end
+      up:   motion <= still;
+      down: motion <= still;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (motion == up && floor != 2) floor <= floor + 1;
+    else if (motion == down && floor != 0) floor <= floor - 1;
+  end
+endmodule
+"""
+    pif = """\
+ctl floor_in_range :: AG !(floor=3)
+ctl no_move_while_still :: AG (motion=still -> (floor=0 | floor=1 | floor=2))
+ctl can_reach_top :: EF floor=2
+
+automaton lc_floor_in_range
+  states A B
+  initial A
+  edge A A :: !(floor=3)
+  edge A B :: floor=3
+  edge B B
+  accept invariance A
+end
+"""
+    return make_spec("elevator", verilog, pif, {})
+
+
+def rrarbiter(n: int = 4) -> DesignSpec:
+    reqs = "\n".join(
+        f"  wire req{i};\n  assign req{i} = $ND(0, 1);" for i in range(n)
+    )
+    grants = "\n".join(
+        f"  wire gnt{i};\n  assign gnt{i} = (turn == {i}) && req{i};"
+        for i in range(n)
+    )
+    verilog = f"""\
+// round-robin arbiter: the token advances every cycle
+module rrarbiter;
+  reg [1:0] turn;
+  initial turn = 0;
+{reqs}
+{grants}
+  always @(posedge clk) turn <= turn + 1;
+endmodule
+"""
+    pairs = " & ".join(
+        f"!(gnt{i}=1 & gnt{j}=1)" for i in range(n) for j in range(i + 1, n)
+    )
+    fair_lines = "\n".join(f"fairness negative :: turn={i}" for i in range(n))
+    pif = f"""\
+ctl one_grant :: AG ({pairs})
+ctl rotation :: AG (turn=0 -> AX turn=1)
+
+automaton lc_one_grant
+  states A B
+  initial A
+  edge A A :: {pairs}
+  edge A B :: !({pairs})
+  edge B B
+  accept invariance A
+end
+
+automaton lc_turn0_recurs
+  states W S
+  initial W
+  edge W S :: turn=0
+  edge W W :: !(turn=0)
+  edge S S :: turn=0
+  edge S W :: !(turn=0)
+  accept recurrence W->S, S->S
+end
+
+{fair_lines}
+"""
+    return make_spec("rrarbiter", verilog, pif, {"n": n})
+
+
+def vending() -> DesignSpec:
+    verilog = """\
+// vending machine: item costs 15; coins are 5 or 10; change returned
+module vending;
+  reg [4:0] credit;      // 0..31
+  reg dispense, change;
+  enum { c_none, c_nickel, c_dime } wire coin;
+  assign coin = $ND(c_none, c_nickel, c_dime);
+
+  initial credit = 0;
+  initial dispense = 0;
+  initial change = 0;
+
+  wire [4:0] paid;
+  assign paid = (coin == c_nickel) ? credit + 5 :
+                (coin == c_dime) ? credit + 10 : credit;
+
+  always @(posedge clk) begin
+    if (paid >= 15) credit <= 0;
+    else credit <= paid;
+  end
+  always @(posedge clk) dispense <= (paid >= 15);
+  always @(posedge clk) change <= (paid >= 15) && (paid > 15);
+endmodule
+"""
+    pif = """\
+ctl credit_bounded :: AG (credit=0 | credit=5 | credit=10)
+ctl change_only_with_item :: AG (change=1 -> dispense=1)
+ctl can_buy :: EF dispense=1
+
+automaton lc_change_with_item
+  states A B
+  initial A
+  edge A A :: !(change=1 & dispense=0)
+  edge A B :: change=1 & dispense=0
+  edge B B
+  accept invariance A
+end
+"""
+    return make_spec("vending", verilog, pif, {})
+
+
+def gcd() -> DesignSpec:
+    verilog = """\
+// Euclidean GCD datapath over 3-bit operands
+module gcd;
+  reg [2:0] a, b;
+  enum { load, run, done } reg phase;
+
+  initial a = 0;
+  initial b = 0;
+  initial phase = load;
+
+  wire [2:0] na, nb;
+  assign na = $ND(1, 2, 3, 4, 5, 6, 7);
+  assign nb = $ND(1, 2, 3, 4, 5, 6, 7);
+
+  always @(posedge clk) begin
+    case (phase)
+      load: phase <= run;
+      run:  if (a == b || a == 0 || b == 0) phase <= done;
+      done: phase <= done;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (phase == load) a <= na;
+    else if (phase == run && a > b) a <= a - b;
+  end
+  always @(posedge clk) begin
+    if (phase == load) b <= nb;
+    else if (phase == run && b > a) b <= b - a;
+  end
+endmodule
+"""
+    pif = """\
+ctl terminates :: AF phase=done
+ctl stable_when_done :: AG (phase=done -> AX phase=done)
+ctl gcd_nonzero :: AG (phase=done -> !(a=0 & b=0))
+
+automaton lc_done_forever
+  # once done, stay done
+  states W D BAD
+  initial W
+  edge W W :: !(phase=done)
+  edge W D :: phase=done
+  edge D D :: phase=done
+  edge D BAD :: !(phase=done)
+  edge BAD BAD
+  accept invariance W D
+end
+"""
+    return make_spec("gcd", verilog, pif, {})
+
+
+def railroad() -> DesignSpec:
+    verilog = """\
+// single-track railroad interlock: two trains, one bridge
+module railroad;
+  enum { away, waiting, bridge } reg east, west;
+  enum { e_turn, w_turn } reg signal;
+  wire e_arrive, w_arrive, e_leave, w_leave;
+  assign e_arrive = $ND(0, 1);
+  assign w_arrive = $ND(0, 1);
+  assign e_leave = $ND(0, 1);
+  assign w_leave = $ND(0, 1);
+
+  initial east = away;
+  initial west = away;
+  initial signal = e_turn;
+
+  always @(posedge clk) begin
+    case (east)
+      away:    if (e_arrive) east <= waiting;
+      waiting: if (signal == e_turn && west != bridge) east <= bridge;
+      bridge:  if (e_leave) east <= away;
+    endcase
+  end
+  always @(posedge clk) begin
+    case (west)
+      away:    if (w_arrive) west <= waiting;
+      waiting: if (signal == w_turn && east != bridge) west <= bridge;
+      bridge:  if (w_leave) west <= away;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (east == bridge) signal <= w_turn;
+    else if (west == bridge) signal <= e_turn;
+  end
+endmodule
+"""
+    pif = """\
+ctl bridge_exclusive :: AG !(east=bridge & west=bridge)
+ctl east_can_cross :: AG (east=waiting -> EF east=bridge)
+ctl west_can_cross :: AG (west=waiting -> EF west=bridge)
+
+automaton lc_bridge_exclusive
+  states A B
+  initial A
+  edge A A :: !(east=bridge & west=bridge)
+  edge A B :: east=bridge & west=bridge
+  edge B B
+  accept invariance A
+end
+"""
+    return make_spec("railroad", verilog, pif, {})
+
+
+GALLERY: Dict[str, Callable[[], DesignSpec]] = {
+    "traffic": traffic,
+    "elevator": elevator,
+    "rrarbiter": rrarbiter,
+    "vending": vending,
+    "gcd": gcd,
+    "railroad": railroad,
+}

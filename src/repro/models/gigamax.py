@@ -1,0 +1,146 @@
+"""gigamax — cache consistency protocol (Table 1: 630 states, 1 LC, 9 CTL).
+
+A synchronous abstraction of the Encore Gigamax cache coherence protocol
+(McMillan-Schwalbe, the paper's [20]): N processors share one bus line.
+Each cache line is ``invalid``/``shared``/``owned``; bus transactions are
+two-phase (a non-deterministic request is latched, then served):
+
+* ``rd`` — requester moves to shared, an owner is snooped down to shared;
+* ``wr`` — requester takes ownership, every other cache is invalidated,
+  memory goes dirty;
+* ``rp`` — requester drops the line (an owner writes back: memory clean).
+
+The shipped properties are the protocol's coherence invariants (single
+writer, dirty-memory accounting) plus bus-phase and reachability checks
+— 9 CTL formulas and 1 language-containment automaton, matching the
+paper's Table-1 row.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import DesignSpec, make_spec
+
+DEFAULT_PARAMS = {"n": 3}
+
+
+def verilog(n: int = 3) -> str:
+    if not 2 <= n <= 4:
+        raise ValueError("gigamax model supports 2..4 processors")
+    caches = ", ".join(f"cache{i}" for i in range(n))
+    nd_proc = ", ".join(str(i) for i in range(n))
+    lines = [
+        f"// Gigamax-style bus cache coherence, N={n} (generated)",
+        "module gigamax;",
+        f"  enum {{ inv, shr, own }} reg {caches};",
+        "  enum { n_op, rd, wr, rp } reg pend_op;",
+        f"  reg [1:0] pend_proc;",
+        "  enum { ph_idle, ph_serve } reg phase;",
+        "  enum { clean, dirty } reg mem;",
+        "",
+        "  initial phase = ph_idle;",
+        "  initial pend_op = n_op;",
+        "  initial pend_proc = 0;",
+        "  initial mem = clean;",
+    ]
+    for i in range(n):
+        lines.append(f"  initial cache{i} = inv;")
+    lines += [
+        "",
+        "  wire next_is_serve;",
+        "  assign next_is_serve = (phase == ph_idle);",
+        "",
+        "  always @(posedge clk) begin",
+        "    if (phase == ph_idle) begin",
+        "      phase <= ph_serve;",
+        "      pend_op <= $ND(rd, wr, rp);",
+        f"      pend_proc <= $ND({nd_proc});",
+        "    end else begin",
+        "      phase <= ph_idle;",
+        "      pend_op <= n_op;",
+        "      pend_proc <= pend_proc;",
+        "    end",
+        "  end",
+        "",
+    ]
+    for i in range(n):
+        lines += [
+            "  always @(posedge clk) begin",
+            f"    if (phase == ph_serve && pend_proc == {i}) begin",
+            "      if (pend_op == rd)",
+            f"        cache{i} <= (cache{i} == inv) ? shr : cache{i};",
+            "      else if (pend_op == wr)",
+            f"        cache{i} <= own;",
+            "      else if (pend_op == rp)",
+            f"        cache{i} <= inv;",
+            f"      else cache{i} <= cache{i};",
+            f"    end else if (phase == ph_serve && pend_op == wr) begin",
+            f"      cache{i} <= inv;  // invalidate on another writer",
+            f"    end else if (phase == ph_serve && pend_op == rd) begin",
+            f"      cache{i} <= (cache{i} == own) ? shr : cache{i};  // snoop",
+            "    end",
+            f"    else cache{i} <= cache{i};",
+            "  end",
+            "",
+        ]
+    owner_terms = " : ".join(
+        [f"(pend_proc == {i}) ? (cache{i} == own)" for i in range(n)] + ["0"]
+    )
+    lines += [
+        "  wire replacing_owner;",
+        f"  assign replacing_owner = {owner_terms};",
+        "  always @(posedge clk) begin",
+        "    if (phase == ph_serve && pend_op == wr)",
+        "      mem <= dirty;",
+        "    else if (phase == ph_serve && pend_op == rp && replacing_owner)",
+        "      mem <= clean;  // write-back on owner replacement",
+        "    else mem <= mem;",
+        "  end",
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def pif(n: int = 3) -> str:
+    others = lambda i: " & ".join(
+        f"cache{j}=inv" for j in range(n) if j != i
+    )
+    no_two_owners = " & ".join(
+        f"!(cache{i}=own & cache{j}=own)"
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+    all_inv = " & ".join(f"cache{i}=inv" for i in range(n))
+    some_owner = " | ".join(f"cache{i}=own" for i in range(n))
+    props = [
+        f"ctl single_writer_{i} :: AG (cache{i}=own -> ({others(i)}))"
+        for i in range(n)
+    ]
+    props += [
+        f"ctl no_two_owners :: AG ({no_two_owners})",
+        f"ctl clean_means_unowned :: AG (mem=clean -> !({some_owner}))",
+        "ctl ownership_reachable :: AG EF cache0=own",
+        "ctl serve_then_idle :: AG (phase=ph_serve -> AX phase=ph_idle)",
+        "ctl idle_then_serve :: AG (phase=ph_idle -> AX phase=ph_serve)",
+        f"ctl flushable :: AG EF ({all_inv})",
+    ]
+    return (
+        "# --- 9 CTL properties -------------------------------------------\n"
+        + "\n".join(props)
+        + f"""
+
+# --- 1 language-containment property ------------------------------
+automaton lc_single_writer
+  states A B
+  initial A
+  edge A A :: {no_two_owners}
+  edge A B :: !({no_two_owners})
+  edge B B
+  accept invariance A
+end
+"""
+    )
+
+
+def spec(n: int = 3) -> DesignSpec:
+    """Build the gigamax benchmark for ``n`` processors."""
+    return make_spec("gigamax", verilog(n), pif(n), {"n": n})

@@ -1,0 +1,169 @@
+"""2mdlc — message data-link controller (Table 1: ~6.6e4 states, the
+industrial design with the heaviest model-checking run).
+
+An alternating-bit data-link controller moving ``width``-bit payloads
+over a lossy frame channel with a lossy acknowledgement channel:
+
+* the sender transmits (seq-bit, data) frames and retransmits on a
+  non-deterministic timeout or a stale ack;
+* the frame channel holds one frame and may lose it;
+* the receiver accepts frames, delivers in-sequence payloads and acks
+  every received frame with its sequence bit;
+* two pulse registers (``rtook``, ``sack``) record "receiver accepted a
+  frame" / "sender saw an ack" ticks so that channel fairness is
+  expressible as state-level Streett constraints.
+
+Properties (matching the Table-1 row: 1 LC, 1 CTL):
+
+* ``lc_progress`` — under fair channels the sender accepts new messages
+  infinitely often (the sequence bit flips forever);
+* ``data_integrity`` — an in-flight frame carrying the sender's current
+  sequence bit carries the sender's current payload (expanded over the
+  whole datapath, making it the most expensive CTL check — the paper's
+  2mdlc row shows the same effect).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import DesignSpec, make_spec
+
+DEFAULT_PARAMS = {"width": 5}
+
+
+def verilog(width: int = 5) -> str:
+    if not 1 <= width <= 6:
+        raise ValueError("payload width must be 1..6 bits")
+    nvals = 1 << width
+    nd_payload = ", ".join(str(v) for v in range(nvals))
+    return f"""\
+// 2mdlc: alternating-bit message data-link controller (generated)
+module mdlc;
+  enum {{ s_send, s_wait }} reg sstate;
+  reg sbit;
+  reg [{width - 1}:0] sdata;
+  reg fvalid, fbit;
+  reg [{width - 1}:0] fdata;
+  reg rbit;
+  reg [{width - 1}:0] rdata;
+  reg avalid, abit;
+  reg rtook, sack;
+
+  initial sstate = s_send;
+  initial sbit = 0;
+  initial sdata = 0;
+  initial fvalid = 0;
+  initial fbit = 0;
+  initial fdata = 0;
+  initial rbit = 0;
+  initial rdata = 0;
+  initial avalid = 0;
+  initial abit = 0;
+  initial rtook = 0;
+  initial sack = 0;
+
+  wire s_put, timeout, good_ack, take, lose_f, lose_a, fresh;
+  assign s_put = (sstate == s_send) && !fvalid;
+  assign timeout = $ND(0, 1);
+  assign good_ack = avalid && (abit == sbit);
+  assign take = fvalid && $ND(0, 1);
+  assign lose_f = $ND(0, 1);
+  assign lose_a = $ND(0, 1);
+  assign fresh = take && (fbit == rbit);
+
+  // ---- sender ----------------------------------------------------
+  always @(posedge clk) begin
+    case (sstate)
+      s_send: sstate <= s_put ? s_wait : s_send;
+      s_wait: begin
+        if (avalid) sstate <= s_send;          // ack (good or stale)
+        else if (timeout) sstate <= s_send;    // retransmit
+        else sstate <= s_wait;
+      end
+    endcase
+  end
+  always @(posedge clk) begin
+    if (sstate == s_wait && good_ack) begin
+      sbit <= !sbit;
+      sdata <= $ND({nd_payload});              // accept a new message
+    end else begin
+      sbit <= sbit;
+      sdata <= sdata;
+    end
+  end
+  always @(posedge clk)
+    sack <= (sstate == s_wait) && avalid;
+
+  // ---- frame channel (capacity one, lossy) --------------------------
+  always @(posedge clk) begin
+    if (s_put) begin
+      fvalid <= 1; fbit <= sbit; fdata <= sdata;
+    end else if (fvalid && take) begin
+      fvalid <= 0; fbit <= fbit; fdata <= fdata;
+    end else if (fvalid && lose_f) begin
+      fvalid <= 0; fbit <= fbit; fdata <= fdata;
+    end else begin
+      fvalid <= fvalid; fbit <= fbit; fdata <= fdata;
+    end
+  end
+
+  // ---- receiver -----------------------------------------------------
+  always @(posedge clk) begin
+    if (fresh) begin
+      rdata <= fdata; rbit <= !rbit;
+    end else begin
+      rdata <= rdata; rbit <= rbit;
+    end
+  end
+  always @(posedge clk)
+    rtook <= take;
+
+  // ---- ack channel (capacity one, lossy) ------------------------------
+  always @(posedge clk) begin
+    if (take) begin
+      avalid <= 1; abit <= fbit;               // ack every received frame
+    end else if (avalid && (sstate == s_wait)) begin
+      avalid <= 0; abit <= abit;               // consumed by the sender
+    end else if (avalid && lose_a) begin
+      avalid <= 0; abit <= abit;
+    end else begin
+      avalid <= avalid; abit <= abit;
+    end
+  end
+endmodule
+"""
+
+
+def pif(width: int = 5) -> str:
+    nvals = 1 << width
+    data_eq = " | ".join(f"(fdata={v} & sdata={v})" for v in range(nvals))
+    bit_eq = "(fbit=0 & sbit=0) | (fbit=1 & sbit=1)"
+    return f"""\
+# --- 1 CTL property: datapath integrity --------------------------------
+# An in-flight frame carrying the sender's current sequence bit carries
+# the sender's current payload.
+ctl data_integrity :: AG ((fvalid=1 & ({bit_eq})) -> ({data_eq}))
+
+# --- 1 language-containment property: sender progress ------------------
+automaton lc_progress
+  states A B
+  initial A
+  edge A A :: sbit=0
+  edge A B :: sbit=1
+  edge B B :: sbit=1
+  edge B A :: sbit=0
+  accept recurrence A->B, B->A
+end
+
+# --- channel fairness ----------------------------------------------------
+# frames in flight infinitely often => receiver accepts infinitely often
+fairness streett :: fvalid=1 ; rtook'=1
+# acks in flight infinitely often => sender observes acks infinitely often
+fairness streett :: avalid=1 ; sack'=1
+# the sender does not sit in wait forever (timeout eventually fires)
+fairness negative :: sstate=s_wait
+"""
+
+
+def spec(width: int = 5) -> DesignSpec:
+    """Build the 2mdlc benchmark with a ``width``-bit datapath."""
+    return make_spec("2mdlc", verilog(width), pif(width), {"width": width})

@@ -1,0 +1,118 @@
+"""philos — dining philosophers (Table 1: 18 reached states, 2 LC, 2 CTL).
+
+Each philosopher cycles thinking -> hungry -> has-left-fork -> eating;
+forks are granted by per-fork arbiters with non-deterministic tie
+breaking (the ``$ND`` construct of the extended Verilog subset).  The
+description is *generated* for N philosophers — the paper's §3 notes
+Verilog cannot express such inductive structures natively.
+
+The classic hold-left-fork deadlock is reachable by design (HSIS is a
+debugging tool; the shipped properties are the safety ones that hold).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import DesignSpec, make_spec
+
+DEFAULT_PARAMS = {"n": 2}
+
+
+def verilog(n: int = 2) -> str:
+    if n < 2:
+        raise ValueError("need at least two philosophers")
+    phil_names = ", ".join(f"phil{i}" for i in range(n))
+    fork_owner_values = ", ".join(f"own{i}" for i in range(n))
+    fork_names = ", ".join(f"fork{i}" for i in range(n))
+    lines = [
+        f"// dining philosophers, N={n} (generated)",
+        "module philos;",
+        f"  enum {{ thinking, hungry, hasleft, eating }} reg {phil_names};",
+        f"  enum {{ free, {fork_owner_values} }} reg {fork_names};",
+        "",
+    ]
+    for i in range(n):
+        lines.append(f"  initial phil{i} = thinking;")
+        lines.append(f"  initial fork{i} = free;")
+    lines.append("")
+    for i in range(n):
+        left = i
+        right = (i + 1) % n
+        lines += [
+            f"  wire go_hungry{i}, finish{i};",
+            f"  assign go_hungry{i} = $ND(0, 1);",
+            f"  assign finish{i} = $ND(0, 1);",
+            "  always @(posedge clk) begin",
+            f"    case (phil{i})",
+            f"      thinking: phil{i} <= go_hungry{i} ? hungry : thinking;",
+            f"      hungry:   phil{i} <= (fork{left} == own{i}) ? hasleft : hungry;",
+            f"      hasleft:  phil{i} <= (fork{right} == own{i}) ? eating : hasleft;",
+            f"      eating:   phil{i} <= finish{i} ? thinking : eating;",
+            "    endcase",
+            "  end",
+            "",
+        ]
+    for f in range(n):
+        # fork f is the left fork of philosopher f and the right fork of
+        # philosopher f-1.
+        left_phil = f
+        right_phil = (f - 1) % n
+        lines += [
+            f"  wire req{f}_l, req{f}_r, tie{f};",
+            f"  assign req{f}_l = (phil{left_phil} == hungry);",
+            f"  assign req{f}_r = (phil{right_phil} == hasleft);",
+            f"  assign tie{f} = $ND(0, 1);",
+            "  always @(posedge clk) begin",
+            f"    if (fork{f} == own{left_phil} && phil{left_phil} == thinking)",
+            f"      fork{f} <= free;",
+            f"    else if (fork{f} == own{right_phil} && phil{right_phil} == thinking)",
+            f"      fork{f} <= free;",
+            f"    else if (fork{f} == free) begin",
+            f"      if (req{f}_l && req{f}_r)",
+            f"        fork{f} <= tie{f} ? own{left_phil} : own{right_phil};",
+            f"      else if (req{f}_l) fork{f} <= own{left_phil};",
+            f"      else if (req{f}_r) fork{f} <= own{right_phil};",
+            f"      else fork{f} <= free;",
+            "    end",
+            f"    else fork{f} <= fork{f};",
+            "  end",
+            "",
+        ]
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def pif(n: int = 2) -> str:
+    mutex_pairs = " & ".join(
+        f"!(phil{i}=eating & phil{(i + 1) % n}=eating)" for i in range(n)
+    )
+    left, right = 0, 1 % n
+    return f"""\
+# --- 2 CTL properties ------------------------------------------------
+ctl neighbors_exclusive :: AG ({mutex_pairs})
+ctl eating_owns_forks :: AG (phil0=eating -> (fork{left}=own0 & fork{right}=own0))
+
+# --- 2 language-containment properties --------------------------------
+automaton lc_neighbors_exclusive
+  states A B
+  initial A
+  edge A A :: {mutex_pairs}
+  edge A B :: !({mutex_pairs})
+  edge B B
+  accept invariance A
+end
+
+automaton lc_fork_consistent
+  # an eating philosopher holds its right fork
+  states A B
+  initial A
+  edge A A :: !(phil0=eating & !(fork{right}=own0))
+  edge A B :: phil0=eating & !(fork{right}=own0)
+  edge B B
+  accept invariance A
+end
+"""
+
+
+def spec(n: int = 2) -> DesignSpec:
+    """Build the dining-philosophers benchmark for ``n`` philosophers."""
+    return make_spec("philos", verilog(n), pif(n), {"n": n})

@@ -1,0 +1,124 @@
+"""ping pong — the toy two-process handshake of Table 1 (3 reached states).
+
+Two processes bat a request back and forth: ``ping`` serves, hands over
+to ``pong``, which hands back.  The paper checks 6 language-containment
+properties and 6 CTL formulas on it; we ship the same counts.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import DesignSpec, make_spec
+
+DEFAULT_PARAMS = {}
+
+
+def verilog() -> str:
+    return """\
+// ping pong: two processes alternating service.
+module pingpong;
+  enum { idle, ping, pong } reg state;
+  wire serving, ping_now, pong_now;
+
+  initial state = idle;
+
+  always @(posedge clk) begin
+    case (state)
+      idle: state <= ping;
+      ping: state <= pong;
+      pong: state <= ping;
+    endcase
+  end
+
+  assign ping_now = (state == ping);
+  assign pong_now = (state == pong);
+  assign serving = ping_now || pong_now;
+endmodule
+"""
+
+
+def pif() -> str:
+    return """\
+# --- 6 CTL properties ------------------------------------------------
+ctl no_double_serve  :: AG !(ping_now=1 & pong_now=1)
+ctl idle_starts_ping :: AG (state=idle -> AX state=ping)
+ctl ping_then_pong   :: AG (state=ping -> AX state=pong)
+ctl pong_then_ping   :: AG (state=pong -> AX state=ping)
+ctl always_serves    :: AF serving=1
+ctl ping_recurs      :: AG AF state=ping
+
+# --- 6 language-containment properties --------------------------------
+automaton lc_no_double_serve
+  states A B
+  initial A
+  edge A A :: !(ping_now=1 & pong_now=1)
+  edge A B :: ping_now=1 & pong_now=1
+  edge B B
+  accept invariance A
+end
+
+automaton lc_idle_once
+  # after leaving idle the system never returns to idle
+  states START RUN BAD
+  initial START
+  edge START START :: state=idle
+  edge START RUN   :: !(state=idle)
+  edge RUN RUN     :: !(state=idle)
+  edge RUN BAD     :: state=idle
+  edge BAD BAD
+  accept invariance START RUN
+end
+
+automaton lc_alternation
+  # ping and pong strictly alternate once running
+  states W P Q BAD
+  initial W
+  edge W W :: state=idle
+  edge W P :: state=ping
+  edge P Q :: state=pong
+  edge P BAD :: !(state=pong)
+  edge Q P :: state=ping
+  edge Q BAD :: !(state=ping)
+  edge BAD BAD
+  accept invariance W P Q
+end
+
+automaton lc_ping_recurs
+  # the ping state recurs forever
+  states A P
+  initial A
+  edge A A :: !(state=ping)
+  edge A P :: state=ping
+  edge P P :: state=ping
+  edge P A :: !(state=ping)
+  accept recurrence A->P, P->P
+end
+
+automaton lc_eventually_serving
+  # serving happens within two steps of start
+  states S0 S1 OK BAD
+  initial S0
+  edge S0 S1 :: serving=0
+  edge S0 OK :: serving=1
+  edge S1 OK :: serving=1
+  edge S1 BAD :: serving=0
+  edge OK OK
+  edge BAD BAD
+  accept invariance S0 S1 OK
+end
+
+automaton lc_pong_after_ping
+  states A WAIT BAD
+  initial A
+  edge A A    :: !(state=ping)
+  edge A WAIT :: state=ping
+  edge WAIT A   :: state=pong
+  edge WAIT BAD :: !(state=pong)
+  edge BAD BAD
+  accept invariance A WAIT
+end
+"""
+
+
+def spec() -> DesignSpec:
+    """Build the ping pong benchmark."""
+    return make_spec("ping pong", verilog(), pif(), DEFAULT_PARAMS)

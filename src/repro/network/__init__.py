@@ -1,0 +1,73 @@
+"""Symbolic FSM network layer: encoding, early quantification, images.
+
+The network layer marries :mod:`repro.blifmv` (structure) with
+:mod:`repro.bdd` (symbolic representation).  Build a machine with::
+
+    from repro.blifmv import parse, flatten
+    from repro.network import SymbolicFsm
+
+    fsm = SymbolicFsm(flatten(parse(text)))
+    fsm.build_transition(method="greedy")
+    result = fsm.reachable()
+"""
+
+from repro.network.encode import (
+    NEXT_SUFFIX,
+    EncodedNetwork,
+    LatchVars,
+    encode,
+    encode_table,
+    is_deterministic_table,
+    variable_order,
+)
+from repro.network.fsm import ReachResult, SymbolicFsm
+from repro.network.product import compose
+from repro.network.quantify import (
+    Conjunct,
+    METHODS,
+    QuantifyResult,
+    ScheduleStep,
+    make_conjuncts,
+    multiply_and_quantify,
+)
+
+__all__ = [
+    "NEXT_SUFFIX",
+    "EncodedNetwork",
+    "LatchVars",
+    "encode",
+    "encode_table",
+    "is_deterministic_table",
+    "variable_order",
+    "ReachResult",
+    "SymbolicFsm",
+    "compose",
+    "Conjunct",
+    "METHODS",
+    "QuantifyResult",
+    "ScheduleStep",
+    "make_conjuncts",
+    "multiply_and_quantify",
+]
+
+from repro.network.abstraction import (
+    ConeReport,
+    cone_of_influence,
+    freeing_abstraction,
+    support_closure,
+)
+from repro.network.timing import (
+    DelayBound,
+    bounded_response_automaton,
+    elaborate_delays,
+)
+
+__all__ += [
+    "ConeReport",
+    "cone_of_influence",
+    "freeing_abstraction",
+    "support_closure",
+    "DelayBound",
+    "bounded_response_automaton",
+    "elaborate_delays",
+]

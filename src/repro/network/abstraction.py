@@ -1,0 +1,179 @@
+"""Automatic abstraction (paper §8 item 2).
+
+    "Very large designs have to be abstracted manually for tractability
+    of the verification algorithms.  Research is in progress on how to
+    achieve automatic abstractions."
+
+Two sound automatic abstractions on flat BLIF-MV models:
+
+* **Cone of influence** (:func:`cone_of_influence`) — keep only the
+  latches and tables in the transitive fanin of the nets a property
+  observes; everything else cannot affect the verdict.  Exact (the
+  abstraction is bisimilar on the observed nets).
+* **Free-variable abstraction** (:func:`freeing_abstraction`) — cut
+  chosen nets loose: their drivers are replaced by unconstrained
+  non-deterministic tables.  This over-approximates behaviour, so
+  universal properties (invariants, containment) that *pass* on the
+  abstraction pass on the concrete design; failures may be spurious.
+  This is the standard manual-abstraction move (§2's environment
+  modeling) made mechanical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.blifmv.ast import ANY, BlifMvError, Latch, Model, Row, Table
+
+
+@dataclass
+class ConeReport:
+    """What the cone-of-influence reduction kept and dropped."""
+
+    kept_latches: List[str]
+    dropped_latches: List[str]
+    kept_tables: int
+    dropped_tables: int
+
+
+def _driver_map(model: Model) -> Dict[str, List[Table]]:
+    drivers: Dict[str, List[Table]] = {}
+    for table in model.tables:
+        for out in table.outputs:
+            drivers.setdefault(out, []).append(table)
+    return drivers
+
+
+def support_closure(model: Model, observed: Iterable[str]) -> Set[str]:
+    """All nets in the transitive fanin of ``observed`` (including them)."""
+    drivers = _driver_map(model)
+    latch_by_output = {latch.output: latch for latch in model.latches}
+    seen: Set[str] = set()
+    stack = list(observed)
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        for table in drivers.get(net, ()):
+            for name in table.inputs:
+                stack.append(name)
+            # '=col' rows couple outputs to inputs, already covered.
+        latch = latch_by_output.get(net)
+        if latch is not None:
+            stack.append(latch.input)
+    return seen
+
+
+def cone_of_influence(
+    model: Model, observed: Iterable[str]
+) -> tuple:
+    """Reduce ``model`` to the cone of influence of the ``observed`` nets.
+
+    Returns ``(reduced_model, report)``.  The reduced model has exactly
+    the behaviour of the original projected on the kept nets, so any
+    property over ``observed`` has the same verdict — at a fraction of
+    the state space when the design contains unrelated machinery.
+    """
+    observed = list(observed)
+    missing = [n for n in observed if n not in model.declared_variables()]
+    if missing:
+        raise BlifMvError(f"observed nets not in the model: {missing}")
+    keep = support_closure(model, observed)
+    reduced = Model(name=f"{model.name}#coi")
+    reduced.inputs = [n for n in model.inputs if n in keep]
+    reduced.outputs = [n for n in model.outputs if n in keep]
+    kept_tables = dropped_tables = 0
+    for table in model.tables:
+        if any(out in keep for out in table.outputs):
+            reduced.tables.append(table)
+            kept_tables += 1
+        else:
+            dropped_tables += 1
+    kept_latches: List[str] = []
+    dropped_latches: List[str] = []
+    for latch in model.latches:
+        if latch.output in keep:
+            reduced.latches.append(latch)
+            kept_latches.append(latch.output)
+        else:
+            dropped_latches.append(latch.output)
+    used: Set[str] = set()
+    for table in reduced.tables:
+        used.update(table.variables)
+    for latch in reduced.latches:
+        used.add(latch.input)
+        used.add(latch.output)
+    used.update(reduced.inputs)
+    used.update(reduced.outputs)
+    reduced.domains = {
+        name: dom for name, dom in model.domains.items() if name in used
+    }
+    reduced.validate()
+    report = ConeReport(
+        kept_latches=kept_latches,
+        dropped_latches=dropped_latches,
+        kept_tables=kept_tables,
+        dropped_tables=dropped_tables,
+    )
+    return reduced, report
+
+
+def freeing_abstraction(model: Model, freed: Iterable[str]) -> Model:
+    """Replace the drivers of ``freed`` nets with unconstrained tables.
+
+    The freed nets become pure non-deterministic sources over their
+    domains (and freed latches become combinational free nets), which
+    over-approximates the design's behaviour: if an invariant or a
+    containment check passes on the abstraction, it passes on the
+    concrete model.  The usual use is cutting off a large submachine the
+    property only samples through a few nets.
+    """
+    freed = set(freed)
+    unknown = freed - set(model.declared_variables())
+    if unknown:
+        raise BlifMvError(f"freed nets not in the model: {sorted(unknown)}")
+    abstract = Model(name=f"{model.name}#free")
+    abstract.inputs = list(model.inputs)
+    abstract.outputs = list(model.outputs)
+    abstract.domains = dict(model.domains)
+    for table in model.tables:
+        if any(out in freed for out in table.outputs):
+            # Split: freed outputs get free tables, kept outputs keep the
+            # original rows projected on them.
+            kept = [o for o in table.outputs if o not in freed]
+            if kept:
+                indices = [table.outputs.index(o) for o in kept]
+                abstract.tables.append(
+                    Table(
+                        inputs=list(table.inputs),
+                        outputs=kept,
+                        rows=[
+                            Row(
+                                inputs=row.inputs,
+                                outputs=tuple(row.outputs[i] for i in indices),
+                            )
+                            for row in table.rows
+                        ],
+                        default=None
+                        if table.default is None
+                        else tuple(table.default[i] for i in indices),
+                    )
+                )
+        else:
+            abstract.tables.append(table)
+    for net in freed:
+        domain = model.domain(net)
+        abstract.tables.append(
+            Table(
+                inputs=[],
+                outputs=[net],
+                rows=[Row(inputs=(), outputs=(value,)) for value in domain],
+            )
+        )
+    for latch in model.latches:
+        if latch.output not in freed:
+            abstract.latches.append(latch)
+    abstract.validate()
+    return abstract

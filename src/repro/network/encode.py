@@ -1,0 +1,294 @@
+"""Encoding of flat BLIF-MV models into BDD relation conjuncts.
+
+Every BLIF-MV relation (table) becomes a characteristic-function BDD over
+the log-encoded multi-valued variables it mentions; every latch becomes
+an equality conjunct tying the latch's next-state variable to its input
+wire.  The conjunct list — *not* the monolithic product — is the output:
+building the product transition relation with a good quantification
+schedule is the job of :mod:`repro.network.quantify`.
+
+Variable order is chosen up front with the interacting-FSM affinity
+heuristic (:func:`repro.bdd.ordering.affinity_order`): variables that
+appear in the same table are placed close together, and each latch's
+present/next bits are interleaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd.manager import BDD
+from repro.bdd.mdd import MddManager, MvVar
+from repro.bdd.ordering import affinity_order
+from repro.blifmv.ast import ANY, Any_, BlifMvError, Eq, Model, Table, ValueSet
+from repro.network.quantify import Conjunct
+
+NEXT_SUFFIX = "#n"
+
+
+@dataclass
+class LatchVars:
+    """Symbolic variables of one latch: present state, next state, input wire."""
+
+    name: str
+    x: MvVar
+    y: MvVar
+    input_wire: str
+    reset: Tuple[str, ...]
+
+
+@dataclass
+class EncodedNetwork:
+    """A flat model encoded into BDD conjuncts.
+
+    ``conjuncts`` together with existential quantification of every
+    non-(x, y) variable defines the product transition relation
+    ``T(x, y)`` of the c/s model.
+    """
+
+    model: Model
+    mdd: MddManager
+    latches: List[LatchVars]
+    vars: Dict[str, MvVar]
+    conjuncts: List[Conjunct]
+    init: int
+    order_method: str = "affinity"
+
+    @property
+    def bdd(self) -> BDD:
+        return self.mdd.bdd
+
+    def x_vars(self) -> List[MvVar]:
+        return [l.x for l in self.latches]
+
+    def y_vars(self) -> List[MvVar]:
+        return [l.y for l in self.latches]
+
+    def nonstate_names(self) -> List[str]:
+        state = {l.name for l in self.latches}
+        state |= {l.name + NEXT_SUFFIX for l in self.latches}
+        return [n for n in self.vars if n not in state]
+
+
+def variable_order(model: Model) -> List[str]:
+    """Affinity order of the model's variables (latch outputs anchor)."""
+    groups: List[Set[str]] = [set(t.variables) for t in model.tables]
+    groups += [{l.input, l.output} for l in model.latches]
+    return affinity_order(groups, model.declared_variables())
+
+
+def encode(model: Model, order_method: str = "affinity") -> EncodedNetwork:
+    """Encode a flat model (no subcircuits) into an :class:`EncodedNetwork`.
+
+    ``order_method`` is ``"affinity"`` (interacting-FSM heuristic) or
+    ``"declared"`` (first-use order; the naive baseline for the ordering
+    ablation).
+    """
+    if model.subckts:
+        raise BlifMvError("encode() needs a flat model; call flatten() first")
+    model.validate()
+    if order_method == "affinity":
+        order = variable_order(model)
+    elif order_method == "declared":
+        order = model.declared_variables()
+    else:
+        raise ValueError(f"unknown order_method {order_method!r}")
+
+    mdd = MddManager()
+    latch_of_output = {l.output: l for l in model.latches}
+    variables: Dict[str, MvVar] = {}
+    latch_vars: Dict[str, LatchVars] = {}
+    for name in order:
+        domain = model.domain(name)
+        latch = latch_of_output.get(name)
+        if latch is not None:
+            x, y = mdd.declare_pair(name, name + NEXT_SUFFIX, domain)
+            variables[name] = x
+            variables[name + NEXT_SUFFIX] = y
+            latch_vars[name] = LatchVars(
+                name=name,
+                x=x,
+                y=y,
+                input_wire=latch.input,
+                reset=tuple(latch.reset),
+            )
+        else:
+            variables[name] = mdd.declare(name, domain)
+
+    conjuncts: List[Conjunct] = []
+    bdd = mdd.bdd
+    for index, table in enumerate(model.tables):
+        node = encode_table(mdd, variables, model, table)
+        label = "{}:{}".format(",".join(table.outputs), index)
+        conjuncts.append(
+            Conjunct(node=node, support=frozenset(bdd.support(node)), label=label)
+        )
+
+    # Latch conjuncts: next-state variable equals the input wire.  Under
+    # a synchrony tree (extended c/s, paper §4) a latch only copies its
+    # input when selected; otherwise it holds its present value.  When a
+    # latch feeds itself (constant latch) the wire *is* the present state.
+    update_conditions = _synchrony_conditions(mdd, model, conjuncts)
+    for lv in latch_vars.values():
+        wire = variables[lv.input_wire]
+        if wire.values != lv.y.values:
+            raise BlifMvError(
+                f"latch {lv.name!r}: domain of input {lv.input_wire!r} "
+                f"{wire.values} differs from state domain {lv.y.values}"
+            )
+        move = lv.y.eq_var(wire)
+        condition = update_conditions.get(lv.name)
+        if condition is None:
+            node = move
+        else:
+            hold = lv.y.eq_var(lv.x)
+            node = bdd.ite(condition, move, hold)
+        conjuncts.append(
+            Conjunct(
+                node=node,
+                support=frozenset(bdd.support(node)),
+                label=f"latch:{lv.name}",
+            )
+        )
+
+    # Primary inputs of a non-closed model range freely over their domain;
+    # their domain constraint must participate in quantification.
+    for name in model.inputs:
+        var = variables[name]
+        if var.domain_constraint != bdd.true:
+            conjuncts.append(
+                Conjunct(
+                    node=var.domain_constraint,
+                    support=frozenset(bdd.support(var.domain_constraint)),
+                    label=f"domain:{name}",
+                )
+            )
+
+    init = bdd.true
+    for lv in latch_vars.values():
+        allowed = lv.reset if lv.reset else lv.x.values
+        init = bdd.and_(init, lv.x.literal(allowed))
+
+    return EncodedNetwork(
+        model=model,
+        mdd=mdd,
+        latches=list(latch_vars.values()),
+        vars=variables,
+        conjuncts=conjuncts,
+        init=init,
+        order_method=order_method,
+    )
+
+
+def _synchrony_conditions(
+    mdd: MddManager, model: Model, conjuncts: List[Conjunct]
+) -> Dict[str, int]:
+    """Per-latch update conditions from the model's synchrony tree.
+
+    Every asynchronous (A) node gets a fresh non-deterministic selector
+    variable choosing one branch; a latch updates when every A-ancestor
+    selects its branch.  Selector domain constraints join the conjunct
+    pool (they are non-state variables, quantified out with the rest).
+    Returns an empty mapping for fully synchronous models.
+    """
+    if model.synchrony is None:
+        return {}
+    from repro.blifmv.synchrony import SyncLeaf, SyncNode, validate_tree
+
+    validate_tree(model.synchrony, {latch.output for latch in model.latches})
+    bdd = mdd.bdd
+    conditions: Dict[str, int] = {}
+    counter = [0]
+
+    def walk(tree, condition: int) -> None:
+        if isinstance(tree, SyncLeaf):
+            previous = conditions.get(tree.latch, bdd.false)
+            conditions[tree.latch] = bdd.or_(previous, condition)
+            return
+        assert isinstance(tree, SyncNode)
+        if tree.label == "S" or len(tree.children) == 1:
+            for child in tree.children:
+                walk(child, condition)
+            return
+        selector = mdd.declare(
+            f"#sel{counter[0]}", [str(i) for i in range(len(tree.children))]
+        )
+        counter[0] += 1
+        if selector.domain_constraint != bdd.true:
+            conjuncts.append(
+                Conjunct(
+                    node=selector.domain_constraint,
+                    support=frozenset(bdd.support(selector.domain_constraint)),
+                    label=f"domain:{selector.name}",
+                )
+            )
+        for index, child in enumerate(tree.children):
+            walk(child, bdd.and_(condition, selector.literal(str(index))))
+
+    walk(model.synchrony, bdd.true)
+    return conditions
+
+
+def encode_table(
+    mdd: MddManager, variables: Dict[str, MvVar], model: Model, table: Table
+) -> int:
+    """Characteristic function of one (possibly non-deterministic) table."""
+    bdd = mdd.bdd
+    rows = bdd.false
+    input_cover = bdd.false
+    for row in table.rows:
+        in_part = bdd.true
+        for entry, name in zip(row.inputs, table.inputs):
+            in_part = bdd.and_(in_part, _entry_bdd(variables, name, entry, table))
+        out_part = bdd.true
+        for entry, name in zip(row.outputs, table.outputs):
+            out_part = bdd.and_(out_part, _entry_bdd(variables, name, entry, table))
+        rows = bdd.or_(rows, bdd.and_(in_part, out_part))
+        input_cover = bdd.or_(input_cover, in_part)
+    if table.default is not None:
+        default_part = bdd.true
+        for entry, name in zip(table.default, table.outputs):
+            default_part = bdd.and_(default_part, _entry_bdd(variables, name, entry, table))
+        rows = bdd.or_(rows, bdd.and_(bdd.not_(input_cover), default_part))
+    # Valid encodings only, on every column.
+    for name in table.variables:
+        rows = bdd.and_(rows, variables[name].domain_constraint)
+    return rows
+
+
+def _entry_bdd(
+    variables: Dict[str, MvVar], name: str, entry, table: Table
+) -> int:
+    var = variables[name]
+    if isinstance(entry, Any_):
+        return var.bdd.true
+    if isinstance(entry, Eq):
+        return var.eq_var(variables[entry.name])
+    if isinstance(entry, ValueSet):
+        return var.literal(entry.values)
+    return var.literal(entry)
+
+
+def is_deterministic_table(
+    mdd: MddManager, variables: Dict[str, MvVar], model: Model, table: Table
+) -> bool:
+    """True iff the table defines at most one output pattern per input.
+
+    A BLIF-MV description with only deterministic tables is synthesizable
+    hardware (paper §4).
+    """
+    bdd = mdd.bdd
+    relation = encode_table(mdd, variables, model, table)
+    in_bits: List[int] = []
+    for name in table.inputs:
+        in_bits.extend(variables[name].bits)
+    out_vars = [variables[name] for name in table.outputs]
+    out_bits = [b for v in out_vars for b in v.bits]
+    care_in = [b for b in in_bits]
+    # For each input pattern the number of allowed outputs must be <= 1:
+    # count pairs and count patterns with at least one output.
+    pairs = bdd.sat_count(relation, care_in + out_bits)
+    some_output = bdd.exist(out_bits, relation)
+    patterns = bdd.sat_count(some_output, care_in)
+    return pairs == patterns

@@ -1,0 +1,294 @@
+"""Symbolic FSM: transition relation, image computation, reachability.
+
+This is the engine the property checkers run on.  A :class:`SymbolicFsm`
+wraps an :class:`~repro.network.encode.EncodedNetwork` and provides:
+
+* product transition-relation construction ``T(x, y)`` with a selectable
+  early-quantification schedule (paper §4),
+* forward/backward image with the present/next rename maps,
+* a *partitioned* image that never builds the monolithic ``T`` (paper
+  §8 future-work item 4, implemented),
+* breadth-first reachability that records the frontier "onion rings"
+  needed by the debuggers to extract shortest error-trace prefixes,
+* state counting and enumeration in terms of the original multi-valued
+  latch values.
+
+Monitors (property automata) may be attached *before* the transition
+relation is built; their state variables then become part of the product
+machine (paper §5.2's language-containment product).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd.manager import BDD, BddError
+from repro.bdd.mdd import MddManager, MvVar
+from repro.blifmv.ast import Model
+from repro.network.encode import NEXT_SUFFIX, EncodedNetwork, LatchVars, encode
+from repro.network.quantify import Conjunct, QuantifyResult, multiply_and_quantify
+
+GC_NODE_THRESHOLD = 2_000_000
+
+
+@dataclass
+class ReachResult:
+    """Reachable state set plus the BFS onion rings and run statistics."""
+
+    reached: int
+    rings: List[int]
+    iterations: int
+    converged: bool
+    seconds: float
+
+
+class SymbolicFsm:
+    """The product machine of a flat BLIF-MV model (plus attached monitors)."""
+
+    def __init__(self, model: Model, order_method: str = "affinity"):
+        self.network: EncodedNetwork = encode(model, order_method=order_method)
+        self.mdd: MddManager = self.network.mdd
+        self.bdd: BDD = self.mdd.bdd
+        self.latches: List[LatchVars] = list(self.network.latches)
+        self.conjuncts: List[Conjunct] = list(self.network.conjuncts)
+        self.init: int = self.network.init
+        self.trans: Optional[int] = None
+        self.quantify_result: Optional[QuantifyResult] = None
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Variable bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> Model:
+        return self.network.model
+
+    def var(self, name: str) -> MvVar:
+        """Look up any encoded variable (state, next-state or wire)."""
+        return self.mdd[name]
+
+    def x_vars(self) -> List[MvVar]:
+        return [l.x for l in self.latches]
+
+    def y_vars(self) -> List[MvVar]:
+        return [l.y for l in self.latches]
+
+    def x_bits(self) -> List[int]:
+        return [b for l in self.latches for b in l.x.bits]
+
+    def y_bits(self) -> List[int]:
+        return [b for l in self.latches for b in l.y.bits]
+
+    def x_cube(self) -> int:
+        return self.bdd.cube(self.x_bits())
+
+    def y_cube(self) -> int:
+        return self.bdd.cube(self.y_bits())
+
+    def x_to_y(self) -> Dict[int, int]:
+        return self.mdd.rename_map((l.x, l.y) for l in self.latches)
+
+    def y_to_x(self) -> Dict[int, int]:
+        return self.mdd.rename_map((l.y, l.x) for l in self.latches)
+
+    def state_domain(self) -> int:
+        """Conjunction of present-state domain constraints (valid codes)."""
+        return self.mdd.domain_constraint(l.x for l in self.latches)
+
+    # ------------------------------------------------------------------
+    # Monitor attachment (product machine construction, paper §5.2)
+    # ------------------------------------------------------------------
+
+    def add_state_var(
+        self, name: str, values: Sequence[str], initial: Iterable[str]
+    ) -> Tuple[MvVar, MvVar]:
+        """Declare an extra latch pair (used by property monitors).
+
+        Must be called before :meth:`build_transition`.  Returns the
+        present/next :class:`MvVar` pair.  The initial-state set is
+        conjoined into ``init``.
+        """
+        if self._frozen:
+            raise BddError("cannot add state variables after build_transition()")
+        x, y = self.mdd.declare_pair(name, name + NEXT_SUFFIX, values)
+        self.latches.append(
+            LatchVars(name=name, x=x, y=y, input_wire=name + NEXT_SUFFIX,
+                      reset=tuple(initial))
+        )
+        self.init = self.bdd.and_(self.init, x.literal(list(initial)))
+        return x, y
+
+    def add_conjunct(self, node: int, label: str) -> None:
+        """Add a transition-relation conjunct (monitor transition table)."""
+        if self._frozen:
+            raise BddError("cannot add conjuncts after build_transition()")
+        self.conjuncts.append(
+            Conjunct(node=node, support=frozenset(self.bdd.support(node)), label=label)
+        )
+
+    # ------------------------------------------------------------------
+    # Transition relation
+    # ------------------------------------------------------------------
+
+    def nonstate_bits(self) -> Set[int]:
+        keep = set(self.x_bits()) | set(self.y_bits())
+        quantify: Set[int] = set()
+        for c in self.conjuncts:
+            quantify |= set(c.support)
+        return quantify - keep
+
+    def build_transition(self, method: str = "greedy") -> int:
+        """Build the product transition relation ``T(x, y)``.
+
+        All non-state variables are existentially quantified using the
+        chosen early-quantification schedule.  Idempotent: rebuilding
+        with a different method replaces the stored relation.
+        """
+        result = multiply_and_quantify(
+            self.bdd, self.conjuncts, self.nonstate_bits(), method=method
+        )
+        self.trans = result.node
+        self.quantify_result = result
+        self._frozen = True
+        self.bdd.register_root("fsm.trans", self.trans)
+        self.bdd.register_root("fsm.init", self.init)
+        return self.trans
+
+    def require_transition(self) -> int:
+        if self.trans is None:
+            self.build_transition()
+        assert self.trans is not None
+        return self.trans
+
+    # ------------------------------------------------------------------
+    # Images
+    # ------------------------------------------------------------------
+
+    def image(self, states: int, trans: Optional[int] = None) -> int:
+        """Forward image: states reachable from ``states`` in one step."""
+        t = self.require_transition() if trans is None else trans
+        nxt = self.bdd.and_exists(t, states, self.x_cube())
+        return self.bdd.rename(nxt, self.y_to_x())
+
+    def preimage(self, states: int, trans: Optional[int] = None) -> int:
+        """Backward image: states with a successor in ``states``."""
+        t = self.require_transition() if trans is None else trans
+        primed = self.bdd.rename(states, self.x_to_y())
+        return self.bdd.and_exists(t, primed, self.y_cube())
+
+    def image_partitioned(self, states: int) -> int:
+        """Forward image straight from the conjunct list (no monolithic T).
+
+        Implements the paper's future-work item 4 (partitioned transition
+        relations): the reached-state set is computed without ever forming
+        the product machine.
+        """
+        keep = set(self.y_bits())
+        quantify = set()
+        for c in self.conjuncts:
+            quantify |= set(c.support)
+        quantify |= set(self.x_bits())
+        quantify -= keep
+        pool = list(self.conjuncts) + [
+            Conjunct(node=states, support=frozenset(self.bdd.support(states)),
+                     label="frontier")
+        ]
+        result = multiply_and_quantify(self.bdd, pool, quantify, method="greedy")
+        return self.bdd.rename(result.node, self.y_to_x())
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+
+    def reachable(
+        self,
+        init: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        partitioned: bool = False,
+        observer: Optional[Callable[[int, int], None]] = None,
+    ) -> ReachResult:
+        """Breadth-first reachable states from ``init`` (default: reset states).
+
+        ``rings[k]`` holds exactly the states first reached at depth ``k``
+        (the BFS onion rings) — the debuggers walk these backwards to
+        produce shortest counterexample prefixes.  ``observer(depth,
+        frontier)`` is called once per iteration (used by early failure
+        detection).  ``max_iterations`` bounds the search; ``converged``
+        tells whether a fixpoint was reached.
+        """
+        bdd = self.bdd
+        if not partitioned:
+            self.require_transition()
+        start = time.perf_counter()
+        current = self.init if init is None else init
+        reached = current
+        rings = [current]
+        iterations = 0
+        converged = False
+        frontier = current
+        while frontier != bdd.false:
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            if observer is not None:
+                observer(iterations, frontier)
+            step = (
+                self.image_partitioned(frontier)
+                if partitioned
+                else self.image(frontier)
+            )
+            frontier = bdd.diff(step, reached)
+            iterations += 1
+            if frontier == bdd.false:
+                converged = True
+                break
+            reached = bdd.or_(reached, frontier)
+            rings.append(frontier)
+            if len(bdd) > GC_NODE_THRESHOLD:
+                bdd.register_root("fsm.reached", reached)
+                bdd.gc(extra_roots=rings + [frontier, current])
+        return ReachResult(
+            reached=reached,
+            rings=rings,
+            iterations=iterations,
+            converged=converged,
+            seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    def count_states(self, states: int) -> int:
+        """Number of distinct states in ``states`` (valid encodings only)."""
+        constrained = self.bdd.and_(states, self.state_domain())
+        return self.bdd.sat_count(constrained, self.x_bits())
+
+    def decode_state(self, assignment: Dict[int, bool]) -> Dict[str, str]:
+        """Boolean assignment -> latch-name to value mapping."""
+        return {l.name: l.x.decode(assignment) for l in self.latches}
+
+    def states_iter(self, states: int, limit: Optional[int] = None) -> Iterator[Dict[str, str]]:
+        """Enumerate states as latch-value dictionaries (up to ``limit``)."""
+        constrained = self.bdd.and_(states, self.state_domain())
+        for i, assignment in enumerate(self.bdd.sat_iter(constrained, self.x_bits())):
+            if limit is not None and i >= limit:
+                return
+            yield self.decode_state(assignment)
+
+    def state_cube(self, valuation: Dict[str, str]) -> int:
+        """BDD of the single state (or partial state set) ``valuation``."""
+        f = self.bdd.true
+        for name, value in valuation.items():
+            f = self.bdd.and_(f, self.mdd[name].literal(value))
+        return f
+
+    def pick_state(self, states: int) -> Optional[Dict[str, str]]:
+        """One concrete state out of ``states`` (None if empty)."""
+        constrained = self.bdd.and_(states, self.state_domain())
+        cube = self.bdd.pick_cube(constrained, self.x_bits())
+        if cube is None:
+            return None
+        return self.decode_state(cube)

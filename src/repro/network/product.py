@@ -1,0 +1,88 @@
+"""Model-level product: splice a monitor model onto a system model.
+
+In the HSIS flow, property automata transition structures are themselves
+written in Verilog/BLIF-MV (paper §7) and observe the system through
+shared net names.  ``compose`` merges a monitor model into a system model
+the same way: monitor inputs bind to the system nets of the same name,
+and the monitor's internals are prefixed to avoid capture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.blifmv.ast import BlifMvError, Model
+
+
+def compose(system: Model, monitor: Model, prefix: Optional[str] = None) -> Model:
+    """Product of ``system`` and ``monitor`` (both flat) as one flat model.
+
+    Every input of ``monitor`` must be a net of ``system``; outputs and
+    internals of the monitor are renamed ``<prefix>.<name>``.  The result
+    is a closed model suitable for :class:`repro.network.fsm.SymbolicFsm`.
+    """
+    if system.subckts or monitor.subckts:
+        raise BlifMvError("compose() needs flat models; call flatten() first")
+    prefix = prefix if prefix is not None else monitor.name
+    system_nets = set(system.declared_variables())
+    missing = [i for i in monitor.inputs if i not in system_nets]
+    if missing:
+        raise BlifMvError(
+            f"monitor {monitor.name!r} observes nets absent from the system: "
+            f"{missing}"
+        )
+    # The monitor watches system nets by name (including system-internal
+    # nets, which are not ports), so the product is built by inlining the
+    # system unrenamed and the monitor with prefixed internals.
+    merged = Model(name=f"{system.name}*{monitor.name}")
+    merged.inputs = list(system.inputs)
+    merged.outputs = list(system.outputs)
+    _merge_into(merged, system, rename={})
+    monitor_rename = {
+        name: f"{prefix}.{name}"
+        for name in monitor.declared_variables()
+        if name not in monitor.inputs
+    }
+    _merge_into(merged, monitor, rename=monitor_rename)
+    merged.validate()
+    return merged
+
+
+def _merge_into(target: Model, source: Model, rename: Dict[str, str]) -> None:
+    from repro.blifmv.ast import Eq, Latch, Row, Table
+
+    def r(name: str) -> str:
+        return rename.get(name, name)
+
+    def r_entry(entry):
+        if isinstance(entry, Eq):
+            return Eq(r(entry.name))
+        return entry
+
+    for var, domain in source.domains.items():
+        new = r(var)
+        existing = target.domains.get(new)
+        if existing is not None and existing != domain:
+            raise BlifMvError(f"conflicting domains for {new!r}")
+        target.domains[new] = domain
+    for table in source.tables:
+        target.tables.append(
+            Table(
+                inputs=[r(v) for v in table.inputs],
+                outputs=[r(v) for v in table.outputs],
+                rows=[
+                    Row(
+                        inputs=tuple(r_entry(e) for e in row.inputs),
+                        outputs=tuple(r_entry(e) for e in row.outputs),
+                    )
+                    for row in table.rows
+                ],
+                default=None
+                if table.default is None
+                else tuple(r_entry(e) for e in table.default),
+            )
+        )
+    for latch in source.latches:
+        target.latches.append(
+            Latch(input=r(latch.input), output=r(latch.output), reset=list(latch.reset))
+        )

@@ -1,0 +1,46 @@
+"""PIF: the Property Intermediate Format (CTL + automata + fairness),
+plus the parameterized property library of paper §8 item 8."""
+
+from repro.pif.parser import (
+    FairnessDecl,
+    PifError,
+    PifFile,
+    formula_to_guard,
+    parse_pif,
+    parse_pif_file,
+)
+from repro.pif.library import (
+    Property,
+    TEMPLATES,
+    absence_before,
+    always_eventually,
+    instantiate,
+    invariant,
+    mutual_exclusion,
+    never,
+    next_step,
+    precedence,
+    reachable,
+    response,
+)
+
+__all__ = [
+    "FairnessDecl",
+    "PifError",
+    "PifFile",
+    "formula_to_guard",
+    "parse_pif",
+    "parse_pif_file",
+    "Property",
+    "TEMPLATES",
+    "absence_before",
+    "always_eventually",
+    "instantiate",
+    "invariant",
+    "mutual_exclusion",
+    "never",
+    "next_step",
+    "precedence",
+    "reachable",
+    "response",
+]

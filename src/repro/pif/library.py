@@ -1,0 +1,224 @@
+"""Library of parameterized properties (paper §8 item 8).
+
+    "To make formal verification more accessible to novices, we plan to
+    compile a library of commonly used properties.  The elements of the
+    library would be parameterized so that they could be adapted to
+    specific situations, and they would be accessible through an
+    interface that would not require knowledge of CTL or ω-automata."
+
+Each template takes net names / values and returns both formulations
+where both exist: a CTL formula (for the model checker) and a
+deterministic edge-Rabin automaton (for language containment), so users
+can pick either engine — or cross-check them, as the test suite does.
+Atoms are ``(net, value)`` pairs; ``net`` alone means ``(net, "1")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.automata.automaton import Automaton, GAnd, GNot, Guard, atom as gatom
+from repro.ctl.ast import AF, AG, AU, AX, And, Atom, EF, Formula, Implies, Not
+
+NetSpec = Union[str, Tuple[str, str]]
+
+
+def _net(spec: NetSpec) -> Tuple[str, str]:
+    if isinstance(spec, str):
+        return spec, "1"
+    return spec[0], str(spec[1])
+
+
+def _guard(spec: NetSpec) -> Guard:
+    net, value = _net(spec)
+    return gatom(net, value)
+
+
+def _atom(spec: NetSpec) -> Atom:
+    net, value = _net(spec)
+    return Atom(net, (value,))
+
+
+@dataclass
+class Property:
+    """A library property: a name, a CTL form and/or an automaton form."""
+
+    name: str
+    ctl: Optional[Formula]
+    automaton: Optional[Automaton]
+    description: str = ""
+
+
+def _invariance_automaton(name: str, good: Guard) -> Automaton:
+    aut = Automaton(name=name, states=["GOOD", "BAD"], initial=["GOOD"])
+    aut.add_edge("GOOD", "GOOD", good)
+    aut.add_edge("GOOD", "BAD", GNot(good))
+    aut.add_edge("BAD", "BAD")
+    aut.accept_invariance(["GOOD"])
+    return aut
+
+
+def mutual_exclusion(a: NetSpec, b: NetSpec, name: str = "mutex") -> Property:
+    """``a`` and ``b`` are never asserted at the same time (Figure 2)."""
+    bad = And(_atom(a), _atom(b))
+    good_guard = GNot(GAnd((_guard(a), _guard(b))))
+    return Property(
+        name=name,
+        ctl=AG(Not(bad)),
+        automaton=_invariance_automaton(name, good_guard),
+        description=f"never {a} and {b} simultaneously",
+    )
+
+
+def invariant(good: NetSpec, name: str = "invariant") -> Property:
+    """``good`` holds in every reachable state."""
+    return Property(
+        name=name,
+        ctl=AG(_atom(good)),
+        automaton=_invariance_automaton(name, _guard(good)),
+        description=f"always {good}",
+    )
+
+
+def never(bad: NetSpec, name: str = "never") -> Property:
+    """``bad`` holds in no reachable state."""
+    return Property(
+        name=name,
+        ctl=AG(Not(_atom(bad))),
+        automaton=_invariance_automaton(name, GNot(_guard(bad))),
+        description=f"never {bad}",
+    )
+
+
+def response(request: NetSpec, grant: NetSpec, name: str = "response") -> Property:
+    """Every ``request`` is eventually followed by ``grant``.
+
+    CTL: ``AG (request -> AF grant)``.  Automaton: Büchi ("the monitor
+    is out of the pending state infinitely often"), which is the
+    standard ω-automaton for response and needs fairness on the system
+    side to be meaningful — exactly the §5.1 story.
+    """
+    req_g, grant_g = _guard(request), _guard(grant)
+    aut = Automaton(name=name, states=["IDLE", "PEND"], initial=["IDLE"])
+    aut.add_edge("IDLE", "PEND", GAnd((req_g, GNot(grant_g))))
+    aut.add_edge("IDLE", "IDLE", GNot(GAnd((req_g, GNot(grant_g)))))
+    aut.add_edge("PEND", "IDLE", grant_g)
+    aut.add_edge("PEND", "PEND", GNot(grant_g))
+    # accepted runs leave PEND infinitely often (or never enter it)
+    aut.accept_recurrence([("IDLE", "IDLE"), ("IDLE", "PEND"), ("PEND", "IDLE")])
+    return Property(
+        name=name,
+        ctl=AG(Implies(_atom(request), AF(_atom(grant)))),
+        automaton=aut,
+        description=f"{request} is always followed by {grant}",
+    )
+
+
+def absence_before(bad: NetSpec, gate: NetSpec, name: str = "absence_before") -> Property:
+    """``bad`` never happens before the first ``gate``.
+
+    CTL: ``A[!bad U gate]`` would demand gate eventually happens; the
+    safety reading (bad may not precede gate, gate optional) is
+    ``!E[!gate U bad & !gate]``; the automaton form watches the prefix.
+    """
+    from repro.ctl.ast import EU
+
+    bad_a, gate_a = _atom(bad), _atom(gate)
+    bad_g, gate_g = _guard(bad), _guard(gate)
+    aut = Automaton(name=name, states=["WAIT", "OPEN", "BAD"], initial=["WAIT"])
+    aut.add_edge("WAIT", "OPEN", gate_g)
+    aut.add_edge("WAIT", "BAD", GAnd((bad_g, GNot(gate_g))))
+    aut.add_edge("WAIT", "WAIT", GAnd((GNot(bad_g), GNot(gate_g))))
+    aut.add_edge("OPEN", "OPEN")
+    aut.add_edge("BAD", "BAD")
+    aut.accept_invariance(["WAIT", "OPEN"])
+    return Property(
+        name=name,
+        ctl=Not(EU(Not(gate_a), And(bad_a, Not(gate_a)))),
+        automaton=aut,
+        description=f"no {bad} before the first {gate}",
+    )
+
+
+def precedence(cause: NetSpec, effect: NetSpec, name: str = "precedence") -> Property:
+    """``effect`` only after ``cause`` has happened at least once."""
+    return absence_before(bad=effect, gate=cause, name=name)
+
+
+def next_step(trigger: NetSpec, outcome: NetSpec, name: str = "next_step") -> Property:
+    """Whenever ``trigger`` holds, ``outcome`` holds at the next tick."""
+    trig_g, out_g = _guard(trigger), _guard(outcome)
+    aut = Automaton(name=name, states=["IDLE", "ARMED", "BAD"], initial=["IDLE"])
+    aut.add_edge("IDLE", "ARMED", trig_g)
+    aut.add_edge("IDLE", "IDLE", GNot(trig_g))
+    aut.add_edge("ARMED", "ARMED", GAnd((out_g, trig_g)))
+    aut.add_edge("ARMED", "IDLE", GAnd((out_g, GNot(trig_g))))
+    aut.add_edge("ARMED", "BAD", GNot(out_g))
+    aut.add_edge("BAD", "BAD")
+    aut.accept_invariance(["IDLE", "ARMED"])
+    return Property(
+        name=name,
+        ctl=AG(Implies(_atom(trigger), AX(_atom(outcome)))),
+        automaton=aut,
+        description=f"{trigger} implies {outcome} at the next clock",
+    )
+
+
+def reachable(target: NetSpec, name: str = "reachable") -> Property:
+    """Some execution reaches ``target`` (existential — CTL only).
+
+    Existential properties have no language-containment form (language
+    containment quantifies over *all* behaviours, paper §2).
+    """
+    return Property(
+        name=name,
+        ctl=EF(_atom(target)),
+        automaton=None,
+        description=f"{target} is reachable",
+    )
+
+
+def always_eventually(target: NetSpec, name: str = "always_eventually") -> Property:
+    """``target`` recurs on every (fair) path: ``AG AF target``."""
+    t_g = _guard(target)
+    aut = Automaton(name=name, states=["W", "S"], initial=["W"])
+    aut.add_edge("W", "S", t_g)
+    aut.add_edge("W", "W", GNot(t_g))
+    aut.add_edge("S", "S", t_g)
+    aut.add_edge("S", "W", GNot(t_g))
+    aut.accept_recurrence([("W", "S"), ("S", "S")])
+    return Property(
+        name=name,
+        ctl=AG(AF(_atom(target))),
+        automaton=aut,
+        description=f"{target} happens infinitely often",
+    )
+
+
+TEMPLATES = {
+    "mutual_exclusion": mutual_exclusion,
+    "invariant": invariant,
+    "never": never,
+    "response": response,
+    "absence_before": absence_before,
+    "precedence": precedence,
+    "next_step": next_step,
+    "reachable": reachable,
+    "always_eventually": always_eventually,
+}
+
+
+def instantiate(template: str, *args: NetSpec, name: Optional[str] = None) -> Property:
+    """Instantiate a template by name (the novice-facing interface)."""
+    try:
+        builder = TEMPLATES[template]
+    except KeyError:
+        raise KeyError(
+            f"unknown property template {template!r}; "
+            f"available: {sorted(TEMPLATES)}"
+        ) from None
+    kwargs = {}
+    if name is not None:
+        kwargs["name"] = name
+    return builder(*args, **kwargs)

@@ -1,0 +1,5 @@
+"""State-based simulation of encoded networks."""
+
+from repro.sim.simulator import SimTrace, Simulator, State
+
+__all__ = ["SimTrace", "Simulator", "State"]

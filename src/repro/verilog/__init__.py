@@ -1,0 +1,14 @@
+"""Verilog front end (vl2mv): a synthesizable subset extended with
+``$ND`` non-determinism and enumerated types, compiled to BLIF-MV."""
+
+from repro.verilog.lexer import VerilogError, tokenize
+from repro.verilog.parser import parse_verilog
+from repro.verilog.compile import compile_source, compile_verilog
+
+__all__ = [
+    "VerilogError",
+    "tokenize",
+    "parse_verilog",
+    "compile_source",
+    "compile_verilog",
+]

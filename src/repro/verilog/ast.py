@@ -1,0 +1,191 @@
+"""AST for the vl2mv Verilog subset.
+
+The subset follows the paper (§3): synthesizable constructs only, plus
+the HSIS extensions — ``$ND(...)`` non-deterministic choice (for both
+register and wire non-determinism, after Balarin-York) and enumerated
+types (``enum { idle, busy } state;``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+# -- expressions ---------------------------------------------------------
+
+
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Id(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+    width: Optional[int] = None  # from sized literals
+
+
+@dataclass(frozen=True)
+class EnumConst(Expr):
+    """A reference to an enumerated value (resolved during compilation)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Unop(Expr):
+    op: str  # ! ~ - &(reduction) |(reduction)
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binop(Expr):
+    op: str  # == != && || & | ^ + - * / % < <= > >= << >>
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass(frozen=True)
+class NDChoice(Expr):
+    """``$ND(v1, ..., vk)``: non-deterministically one of the choices."""
+
+    choices: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Constant bit-select ``v[i]`` (only constant indices supported)."""
+
+    base: Expr
+    index: Expr
+
+
+# -- statements ----------------------------------------------------------
+
+
+class Stmt:
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class CaseItem:
+    labels: Optional[List[Expr]]  # None = default
+    stmt: Stmt
+
+
+@dataclass
+class CaseStmt(Stmt):
+    subject: Expr
+    items: List[CaseItem] = field(default_factory=list)
+
+
+@dataclass
+class Assignment(Stmt):
+    target: str
+    value: Expr
+    nonblocking: bool = False
+    line: int = 0  # source line, for source-level debugging (§8 item 7)
+
+
+# -- module items --------------------------------------------------------
+
+
+@dataclass
+class Range:
+    msb: int
+    lsb: int
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+
+@dataclass
+class NetDecl:
+    kind: str  # 'input' | 'output' | 'wire' | 'reg'
+    names: List[str]
+    range: Optional[Range] = None
+    enum_values: Optional[List[str]] = None
+
+
+@dataclass
+class ParamDecl:
+    name: str
+    value: Expr
+
+
+@dataclass
+class ContAssign:
+    target: str
+    value: Expr
+
+
+@dataclass
+class AlwaysSeq:
+    """``always @(posedge clk) ...`` — all latches share the global clock."""
+
+    clock: str
+    body: Stmt
+
+
+@dataclass
+class AlwaysComb:
+    """``always @(*)`` / ``always @(a or b)``."""
+
+    body: Stmt
+
+
+@dataclass
+class InitialBlock:
+    """``initial r = value;`` reset values (possibly ``$ND``)."""
+
+    assignments: List[Assignment] = field(default_factory=list)
+
+
+@dataclass
+class Instance:
+    module: str
+    name: str
+    # Named connections .port(net); positional become indices.
+    connections: List[Tuple[Optional[str], str]] = field(default_factory=list)
+
+
+ModuleItem = Union[
+    NetDecl, ParamDecl, ContAssign, AlwaysSeq, AlwaysComb, InitialBlock, Instance
+]
+
+
+@dataclass
+class ModuleDecl:
+    name: str
+    ports: List[str]
+    items: List[ModuleItem] = field(default_factory=list)
+
+
+@dataclass
+class SourceFile:
+    modules: List[ModuleDecl] = field(default_factory=list)

@@ -1,0 +1,288 @@
+"""Unit tests for the core BDD manager."""
+
+import pytest
+
+from repro.bdd import BDD, BddError, FALSE, TRUE
+
+
+@pytest.fixture
+def bdd():
+    manager = BDD()
+    for name in ("a", "b", "c", "d"):
+        manager.add_var(name)
+    return manager
+
+
+class TestVariables:
+    def test_declared_variables_are_ordered(self, bdd):
+        assert bdd.var_count == 4
+        assert [bdd.var_name(v) for v in bdd.order] == ["a", "b", "c", "d"]
+
+    def test_duplicate_declaration_rejected(self, bdd):
+        with pytest.raises(BddError):
+            bdd.add_var("a")
+
+    def test_unknown_variable_rejected(self, bdd):
+        with pytest.raises(BddError):
+            bdd.var_index("zz")
+
+    def test_insert_at_level(self):
+        manager = BDD()
+        manager.add_var("x")
+        manager.add_var("y")
+        manager.add_var("z", level=0)
+        assert [manager.var_name(v) for v in manager.order] == ["z", "x", "y"]
+
+    def test_set_order_requires_empty_manager(self, bdd):
+        bdd.and_(bdd.var("a"), bdd.var("b"))
+        with pytest.raises(BddError):
+            bdd.set_order([3, 2, 1, 0])
+
+
+class TestCanonicity:
+    def test_terminals(self, bdd):
+        assert bdd.true == TRUE
+        assert bdd.false == FALSE
+
+    def test_same_function_same_node(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f1 = bdd.and_(a, b)
+        f2 = bdd.not_(bdd.or_(bdd.not_(a), bdd.not_(b)))
+        assert f1 == f2
+
+    def test_reduction_no_redundant_test(self, bdd):
+        a = bdd.var("a")
+        assert bdd.ite(a, bdd.true, bdd.true) == bdd.true
+
+    def test_negative_literal(self, bdd):
+        assert bdd.nvar("a") == bdd.not_(bdd.var("a"))
+
+    def test_double_negation(self, bdd):
+        f = bdd.xor(bdd.var("a"), bdd.var("c"))
+        assert bdd.not_(bdd.not_(f)) == f
+
+
+class TestConnectives:
+    def test_truth_table_and(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        for a in (0, 1):
+            for b in (0, 1):
+                expected = bool(a and b)
+                env = {"a": a, "b": b, "c": 0, "d": 0}
+                assert bdd.eval(f, env) is expected
+
+    def test_truth_table_xor(self, bdd):
+        f = bdd.xor(bdd.var("a"), bdd.var("b"))
+        for a in (0, 1):
+            for b in (0, 1):
+                env = {"a": a, "b": b, "c": 0, "d": 0}
+                assert bdd.eval(f, env) is bool(a ^ b)
+
+    def test_implies(self, bdd):
+        f = bdd.implies(bdd.var("a"), bdd.var("b"))
+        assert bdd.eval(f, {"a": 0, "b": 0, "c": 0, "d": 0}) is True
+        assert bdd.eval(f, {"a": 1, "b": 0, "c": 0, "d": 0}) is False
+
+    def test_xnor_is_not_xor(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.xnor(a, b) == bdd.not_(bdd.xor(a, b))
+
+    def test_conj_disj_shortcut(self, bdd):
+        vars_ = [bdd.var(n) for n in ("a", "b", "c")]
+        assert bdd.conj([bdd.false] + vars_) == bdd.false
+        assert bdd.disj([bdd.true] + vars_) == bdd.true
+
+    def test_diff(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.diff(a, b)
+        assert bdd.eval(f, {"a": 1, "b": 0, "c": 0, "d": 0}) is True
+        assert bdd.eval(f, {"a": 1, "b": 1, "c": 0, "d": 0}) is False
+
+
+class TestIte:
+    def test_ite_as_mux(self, bdd):
+        f = bdd.ite(bdd.var("a"), bdd.var("b"), bdd.var("c"))
+        assert bdd.eval(f, {"a": 1, "b": 1, "c": 0, "d": 0}) is True
+        assert bdd.eval(f, {"a": 0, "b": 1, "c": 0, "d": 0}) is False
+        assert bdd.eval(f, {"a": 0, "b": 0, "c": 1, "d": 0}) is True
+
+    def test_ite_terminal_cases(self, bdd):
+        a = bdd.var("a")
+        g = bdd.var("b")
+        assert bdd.ite(bdd.true, g, a) == g
+        assert bdd.ite(bdd.false, g, a) == a
+        assert bdd.ite(a, g, g) == g
+        assert bdd.ite(a, bdd.true, bdd.false) == a
+
+
+class TestQuantification:
+    def test_exist_removes_variable(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        g = bdd.exist(["a"], f)
+        assert g == bdd.var("b")
+
+    def test_forall(self, bdd):
+        f = bdd.or_(bdd.var("a"), bdd.var("b"))
+        assert bdd.forall(["a"], f) == bdd.var("b")
+
+    def test_exist_of_disjoint_var_is_identity(self, bdd):
+        f = bdd.xor(bdd.var("a"), bdd.var("b"))
+        assert bdd.exist(["d"], f) == f
+
+    def test_and_exists_equals_sequential(self, bdd):
+        f = bdd.or_(bdd.var("a"), bdd.var("c"))
+        g = bdd.xor(bdd.var("a"), bdd.var("b"))
+        direct = bdd.and_exists(f, g, ["a"])
+        sequential = bdd.exist(["a"], bdd.and_(f, g))
+        assert direct == sequential
+
+    def test_multi_var_cube(self, bdd):
+        f = bdd.conj([bdd.var("a"), bdd.var("b"), bdd.var("c")])
+        assert bdd.exist(["a", "b", "c"], f) == bdd.true
+
+    def test_cube_vars_roundtrip(self, bdd):
+        cube = bdd.cube(["c", "a"])
+        names = {bdd.var_name(v) for v in bdd.cube_vars(cube)}
+        assert names == {"a", "c"}
+
+
+class TestSubstitution:
+    def test_rename_order_preserving(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.nvar("b"))
+        mapping = {bdd.var_index("a"): bdd.var_index("c"),
+                   bdd.var_index("b"): bdd.var_index("d")}
+        g = bdd.rename(f, mapping)
+        assert bdd.eval(g, {"a": 0, "b": 0, "c": 1, "d": 0}) is True
+
+    def test_rename_rejects_order_violation(self, bdd):
+        f = bdd.and_(bdd.var("c"), bdd.var("d"))
+        mapping = {bdd.var_index("c"): bdd.var_index("b"),
+                   bdd.var_index("d"): bdd.var_index("a")}
+        with pytest.raises(BddError):
+            bdd.rename(f, mapping)
+
+    def test_compose(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        g = bdd.compose(f, "a", bdd.or_(bdd.var("c"), bdd.var("d")))
+        assert bdd.eval(g, {"a": 0, "b": 1, "c": 1, "d": 0}) is True
+        assert bdd.eval(g, {"a": 1, "b": 1, "c": 0, "d": 0}) is False
+
+    def test_vector_compose_is_simultaneous(self, bdd):
+        # swap a and b simultaneously: a&!b becomes b&!a
+        f = bdd.and_(bdd.var("a"), bdd.nvar("b"))
+        sub = {bdd.var_index("a"): bdd.var("b"), bdd.var_index("b"): bdd.var("a")}
+        g = bdd.vector_compose(f, sub)
+        assert bdd.eval(g, {"a": 0, "b": 1, "c": 0, "d": 0}) is True
+        assert bdd.eval(g, {"a": 1, "b": 0, "c": 0, "d": 0}) is False
+
+
+class TestCofactorsAndDontCares:
+    def test_restrict_assignment(self, bdd):
+        f = bdd.ite(bdd.var("a"), bdd.var("b"), bdd.var("c"))
+        assert bdd.restrict(f, {bdd.var_index("a"): True}) == bdd.var("b")
+        assert bdd.restrict(f, {bdd.var_index("a"): False}) == bdd.var("c")
+
+    def test_cofactor_cube(self, bdd):
+        f = bdd.ite(bdd.var("a"), bdd.var("b"), bdd.var("c"))
+        cube = bdd.and_(bdd.var("a"), bdd.nvar("b"))
+        assert bdd.cofactor_cube(f, cube) == bdd.false
+
+    def test_constrain_agrees_on_care_set(self, bdd):
+        f = bdd.xor(bdd.var("a"), bdd.var("b"))
+        care = bdd.var("a")
+        g = bdd.constrain(f, care)
+        # On the care set the functions agree.
+        assert bdd.and_(bdd.xor(f, g), care) == bdd.false
+
+    def test_constrain_identity_cases(self, bdd):
+        f = bdd.var("a")
+        assert bdd.constrain(f, bdd.true) == f
+        assert bdd.constrain(f, f) == bdd.true
+        with pytest.raises(BddError):
+            bdd.constrain(f, bdd.false)
+
+    def test_restrict_dc_agrees_and_shrinks_support(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        f = bdd.or_(bdd.and_(a, b), bdd.and_(bdd.not_(a), c))
+        care = a
+        g = bdd.restrict_dc(f, care)
+        assert bdd.and_(bdd.xor(f, g), care) == bdd.false
+        # restrict guarantees support(g) subset of support(f)
+        assert set(bdd.support(g)) <= set(bdd.support(f))
+
+
+class TestCountingAndEnumeration:
+    def test_sat_count_simple(self, bdd):
+        f = bdd.or_(bdd.var("a"), bdd.var("b"))
+        assert bdd.sat_count(f, ["a", "b"]) == 3
+        assert bdd.sat_count(f) == 12  # free c, d double twice
+
+    def test_sat_count_terminals(self, bdd):
+        assert bdd.sat_count(bdd.true, ["a", "b"]) == 4
+        assert bdd.sat_count(bdd.false, ["a", "b"]) == 0
+
+    def test_sat_count_requires_support(self, bdd):
+        f = bdd.var("c")
+        with pytest.raises(BddError):
+            bdd.sat_count(f, ["a"])
+
+    def test_sat_iter_covers_all_models(self, bdd):
+        f = bdd.xor(bdd.var("a"), bdd.var("c"))
+        models = list(bdd.sat_iter(f, ["a", "b", "c"]))
+        assert len(models) == 4
+        for m in models:
+            named = {bdd.var_name(k): v for k, v in m.items()}
+            assert named["a"] != named["c"]
+
+    def test_pick_cube_satisfies(self, bdd):
+        f = bdd.and_(bdd.var("b"), bdd.nvar("c"))
+        cube = bdd.pick_cube(f, ["a", "b", "c", "d"])
+        env = {bdd.var_name(k): v for k, v in cube.items()}
+        assert bdd.eval(f, env) is True
+
+    def test_pick_cube_of_false(self, bdd):
+        assert bdd.pick_cube(bdd.false) is None
+
+    def test_support(self, bdd):
+        f = bdd.ite(bdd.var("a"), bdd.var("c"), bdd.var("c"))
+        assert [bdd.var_name(v) for v in bdd.support(f)] == ["c"]
+
+    def test_size(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert bdd.size(f) == 4  # two internal + two terminals
+
+
+class TestGarbageCollection:
+    def test_gc_preserves_roots(self, bdd):
+        f = bdd.xor(bdd.var("a"), bdd.var("b"))
+        garbage = [bdd.conj([bdd.var("a"), bdd.var("c"), bdd.var("d")])]
+        bdd.register_root("f", f)
+        del garbage
+        before = len(bdd)
+        freed = bdd.gc()
+        assert freed > 0
+        assert len(bdd) < before
+        assert bdd.eval(f, {"a": 1, "b": 0, "c": 0, "d": 0}) is True
+
+    def test_gc_extra_roots(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("d"))
+        bdd.gc(extra_roots=[f])
+        assert bdd.eval(f, {"a": 1, "b": 0, "c": 0, "d": 1}) is True
+
+    def test_nodes_reusable_after_gc(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        bdd.gc()  # f is garbage
+        g = bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert bdd.eval(g, {"a": 1, "b": 1, "c": 0, "d": 0}) is True
+
+    def test_deregister_root(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        bdd.register_root("f", f)
+        bdd.deregister_root("f")
+        bdd.deregister_root("not-there")  # no error
+        assert bdd.gc() > 0
+
+    def test_stats_shape(self, bdd):
+        stats = bdd.stats()
+        assert {"live_nodes", "allocated_nodes", "cache_entries",
+                "variables", "gc_runs"} <= set(stats)

@@ -1,0 +1,91 @@
+"""Tests for the secondary BDD operations in repro.bdd.ops."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bdd.ops import (
+    count_nodes,
+    cube_minus,
+    cube_union_vars,
+    disjoint,
+    implies,
+    minterm,
+    transfer,
+)
+
+
+@pytest.fixture
+def bdd():
+    manager = BDD()
+    for name in ("a", "b", "c"):
+        manager.add_var(name)
+    return manager
+
+
+class TestTransfer:
+    def test_identity_transfer(self, bdd):
+        f = bdd.xor(bdd.var("a"), bdd.var("b"))
+        dst = BDD()
+        for name in ("a", "b", "c"):
+            dst.add_var(name)
+        g = transfer(f, bdd, dst, {0: 0, 1: 1, 2: 2})
+        for a in (0, 1):
+            for b in (0, 1):
+                env = {"a": a, "b": b, "c": 0}
+                assert dst.eval(g, env) == bdd.eval(f, env)
+
+    def test_transfer_with_reordered_destination(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.nvar("c"))
+        dst = BDD()
+        for name in ("c", "b", "a"):  # reversed order
+            dst.add_var(name)
+        mapping = {bdd.var_index(n): dst.var_index(n) for n in ("a", "b", "c")}
+        g = transfer(f, bdd, dst, mapping)
+        assert dst.eval(g, {"a": 1, "b": 0, "c": 0}) is True
+        assert dst.eval(g, {"a": 1, "b": 0, "c": 1}) is False
+
+    def test_transfer_with_variable_renaming(self, bdd):
+        f = bdd.var("a")
+        dst = BDD()
+        dst.add_var("x")
+        g = transfer(f, bdd, dst, {bdd.var_index("a"): dst.var_index("x")})
+        assert g == dst.var("x")
+
+
+class TestCubeHelpers:
+    def test_cube_union_vars(self, bdd):
+        c1 = bdd.cube(["a"])
+        c2 = bdd.cube(["b", "c"])
+        union = cube_union_vars(bdd, [c1, c2])
+        assert set(bdd.cube_vars(union)) == {0, 1, 2}
+
+    def test_cube_minus(self, bdd):
+        cube = bdd.cube(["a", "b", "c"])
+        reduced = cube_minus(bdd, cube, [bdd.var_index("b")])
+        assert set(bdd.cube_vars(reduced)) == {0, 2}
+
+    def test_minterm_positive_and_negative(self, bdd):
+        f = minterm(bdd, {"a": True, "b": False})
+        assert bdd.eval(f, {"a": 1, "b": 0, "c": 0}) is True
+        assert bdd.eval(f, {"a": 1, "b": 1, "c": 0}) is False
+
+    def test_minterm_accepts_indices(self, bdd):
+        f = minterm(bdd, {0: True})
+        assert f == bdd.var("a")
+
+
+class TestPredicates:
+    def test_disjoint(self, bdd):
+        assert disjoint(bdd, bdd.var("a"), bdd.nvar("a"))
+        assert not disjoint(bdd, bdd.var("a"), bdd.var("b"))
+
+    def test_implies(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert implies(bdd, f, bdd.var("a"))
+        assert not implies(bdd, bdd.var("a"), f)
+
+    def test_count_nodes(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        g = bdd.or_(bdd.var("a"), bdd.var("b"))
+        shared = count_nodes(bdd, [f, g])
+        assert shared <= bdd.size(f) + bdd.size(g)

@@ -1,0 +1,127 @@
+"""Tests for the CTL formula parser."""
+
+import pytest
+
+from repro.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    And,
+    Atom,
+    CtlParseError,
+    EF,
+    EG,
+    EU,
+    EX,
+    FalseF,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueF,
+    is_propositional,
+    parse_ctl,
+)
+
+
+class TestAtoms:
+    def test_simple_atom(self):
+        assert parse_ctl("x=1") == Atom("x", ("1",))
+
+    def test_bare_name_is_equals_one(self):
+        assert parse_ctl("ready") == Atom("ready", ("1",))
+
+    def test_symbolic_value(self):
+        assert parse_ctl("state=idle") == Atom("state", ("idle",))
+
+    def test_dotted_names(self):
+        assert parse_ctl("u1.phil0=eating") == Atom("u1.phil0", ("eating",))
+
+    def test_value_set(self):
+        assert parse_ctl("s{a,b}") == Atom("s", ("a", "b"))
+
+    def test_constants(self):
+        assert parse_ctl("TRUE") == TrueF()
+        assert parse_ctl("FALSE") == FalseF()
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        f = parse_ctl("a | b & c")
+        assert isinstance(f, Or)
+        assert isinstance(f.right, And)
+
+    def test_implies_is_right_associative(self):
+        f = parse_ctl("a -> b -> c")
+        assert isinstance(f, Implies)
+        assert isinstance(f.right, Implies)
+
+    def test_not_binds_tightest(self):
+        f = parse_ctl("!a & b")
+        assert isinstance(f, And)
+        assert isinstance(f.left, Not)
+
+    def test_parentheses(self):
+        f = parse_ctl("a & (b | c)")
+        assert isinstance(f, And)
+        assert isinstance(f.right, Or)
+
+    def test_iff(self):
+        f = parse_ctl("a <-> b")
+        assert isinstance(f, Iff)
+
+    def test_star_and_plus_aliases(self):
+        assert parse_ctl("a * b") == parse_ctl("a & b")
+        assert parse_ctl("a + b") == parse_ctl("a | b")
+
+
+class TestTemporal:
+    @pytest.mark.parametrize("text,cls", [
+        ("AG a", AG), ("AF a", AF), ("AX a", AX),
+        ("EG a", EG), ("EF a", EF), ("EX a", EX),
+    ])
+    def test_unary_operators(self, text, cls):
+        assert isinstance(parse_ctl(text), cls)
+
+    def test_until(self):
+        f = parse_ctl("E[a U b]")
+        assert isinstance(f, EU)
+        g = parse_ctl("A[a U b]")
+        assert isinstance(g, AU)
+
+    def test_nested(self):
+        f = parse_ctl("AG (req=1 -> AF ack=1)")
+        assert isinstance(f, AG)
+        assert isinstance(f.sub, Implies)
+        assert isinstance(f.sub.right, AF)
+
+    def test_unary_operators_chain(self):
+        f = parse_ctl("AG EF x=1")
+        assert isinstance(f, AG)
+        assert isinstance(f.sub, EF)
+
+    def test_str_roundtrip(self):
+        for text in ("AG !(a=1 & b=1)", "E[a=1 U b=0]", "AF x=1 | EG y=2"):
+            f = parse_ctl(text)
+            assert parse_ctl(str(f)) == f
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "", "AG", "(a", "E[a b]", "a &", "A[a U b", "=3", "a = ",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(CtlParseError):
+            parse_ctl(text)
+
+    def test_trailing_input(self):
+        with pytest.raises(CtlParseError):
+            parse_ctl("a b")
+
+
+class TestPropositional:
+    def test_propositional_detection(self):
+        assert is_propositional(parse_ctl("a=1 & !(b=0 | c=2)"))
+        assert not is_propositional(parse_ctl("AG a=1"))
+        assert not is_propositional(parse_ctl("a=1 & EX b=1"))

@@ -1,0 +1,52 @@
+"""Tests for BDD export and inspection helpers."""
+
+from repro.bdd import BDD
+from repro.bdd.dump import level_profile, summarize, to_dot
+
+
+def setup():
+    bdd = BDD()
+    for name in ("a", "b", "c"):
+        bdd.add_var(name)
+    f = bdd.or_(bdd.and_(bdd.var("a"), bdd.var("b")), bdd.var("c"))
+    return bdd, f
+
+
+class TestDot:
+    def test_structure(self):
+        bdd, f = setup()
+        dot = to_dot(bdd, {"f": f})
+        assert dot.startswith("digraph")
+        assert 'label="a"' in dot
+        assert "style=dashed" in dot  # low edges
+        assert "root_f" in dot
+
+    def test_terminals_present(self):
+        bdd, f = setup()
+        dot = to_dot(bdd, {"f": f})
+        assert 'f0 [label="0"' in dot
+        assert 'f1 [label="1"' in dot
+
+    def test_sanitized_names(self):
+        bdd, f = setup()
+        dot = to_dot(bdd, {"weird name!": f})
+        assert "root_weird_name_" in dot
+
+    def test_constant_root(self):
+        bdd, _f = setup()
+        dot = to_dot(bdd, {"t": bdd.true})
+        assert "root_t -> f1" in dot
+
+
+class TestProfileAndSummary:
+    def test_level_profile_counts(self):
+        bdd, f = setup()
+        profile = level_profile(bdd, [f])
+        assert sum(profile.values()) == bdd.size(f) - 2
+        assert all(count >= 1 for count in profile.values())
+
+    def test_summarize_mentions_roots(self):
+        bdd, f = setup()
+        text = summarize(bdd, {"f": f})
+        assert "f:" in text
+        assert "manager:" in text

@@ -1,0 +1,250 @@
+"""Tests for table encoding: BDD relations vs explicit row semantics."""
+
+import itertools
+
+import pytest
+
+from repro.blifmv import BlifMvError, flatten, parse
+from repro.network import SymbolicFsm, encode, is_deterministic_table, variable_order
+from repro.network.encode import encode_table
+
+
+def _model(text):
+    return flatten(parse(text))
+
+
+def _relation_pairs(net, table_index=0):
+    """Enumerate (input values, output values) allowed by the encoded table."""
+    model = net.model
+    table = model.tables[table_index]
+    bdd = net.bdd
+    relation = net.conjuncts[table_index].node
+    in_vars = [net.mdd[n] for n in table.inputs]
+    out_vars = [net.mdd[n] for n in table.outputs]
+    pairs = set()
+    for ins in itertools.product(*(v.values for v in in_vars)):
+        for outs in itertools.product(*(v.values for v in out_vars)):
+            cube = bdd.true
+            for var, value in zip(in_vars + out_vars, list(ins) + list(outs)):
+                cube = bdd.and_(cube, var.literal(value))
+            if bdd.and_(relation, cube) != bdd.false:
+                pairs.add((ins, outs))
+    return pairs
+
+
+class TestTableEncoding:
+    def test_function_table(self):
+        net = encode(_model("""
+.model m
+.mv a 3
+.mv o 3
+.table a -> o
+0 1
+1 2
+2 0
+.end
+"""))
+        assert _relation_pairs(net) == {(("0",), ("1",)), (("1",), ("2",)),
+                                        (("2",), ("0",))}
+
+    def test_nondeterministic_rows(self):
+        net = encode(_model("""
+.model m
+.table a -> o
+0 (0,1)
+1 1
+.end
+"""))
+        assert _relation_pairs(net) == {(("0",), ("0",)), (("0",), ("1",)),
+                                        (("1",), ("1",))}
+
+    def test_any_input(self):
+        net = encode(_model("""
+.model m
+.table a -> o
+- 1
+.end
+"""))
+        assert _relation_pairs(net) == {(("0",), ("1",)), (("1",), ("1",))}
+
+    def test_default_applies_to_unmatched(self):
+        net = encode(_model("""
+.model m
+.mv a 3
+.table a -> o
+.default 0
+2 1
+.end
+"""))
+        assert _relation_pairs(net) == {(("0",), ("0",)), (("1",), ("0",)),
+                                        (("2",), ("1",))}
+
+    def test_default_not_shadowing_explicit_nondeterminism(self):
+        # An input matched by a row does NOT take the default.
+        net = encode(_model("""
+.model m
+.table a -> o
+.default 1
+0 0
+.end
+"""))
+        assert _relation_pairs(net) == {(("0",), ("0",)), (("1",), ("1",))}
+
+    def test_equality_output(self):
+        net = encode(_model("""
+.model m
+.mv a,o 3
+.table a -> o
+- =a
+.end
+"""))
+        assert _relation_pairs(net) == {(("0",), ("0",)), (("1",), ("1",)),
+                                        (("2",), ("2",))}
+
+    def test_no_input_constant(self):
+        net = encode(_model("""
+.model m
+.mv o 3
+.table -> o
+2
+.end
+"""))
+        assert _relation_pairs(net) == {((), ("2",))}
+
+    def test_invalid_codes_excluded(self):
+        net = encode(_model("""
+.model m
+.mv a 3
+.table a -> o
+- 1
+.end
+"""))
+        relation = net.conjuncts[0].node
+        a = net.mdd["a"]
+        # code 3 (the unused encoding) must not satisfy the relation
+        bad = net.bdd.conj([net.bdd.var(a.bits[0]), net.bdd.var(a.bits[1])])
+        assert net.bdd.and_(relation, bad) == net.bdd.false
+
+
+class TestLatchEncoding:
+    def test_latch_equality_conjunct(self):
+        net = encode(_model("""
+.model m
+.mv s,n 3
+.table s -> n
+0 1
+1 2
+2 0
+.latch n s
+.reset s
+0
+.end
+"""))
+        labels = [c.label for c in net.conjuncts]
+        assert any(label == "latch:s" for label in labels)
+
+    def test_latch_domain_mismatch_rejected(self):
+        with pytest.raises(BlifMvError):
+            encode(_model("""
+.model m
+.mv s 3
+.table s -> n
+- 1
+.latch n s
+.reset s
+0
+.end
+"""))
+
+    def test_init_from_reset(self):
+        net = encode(_model("""
+.model m
+.mv s,n 4
+.table s -> n
+- =s
+.latch n s
+.reset s
+1 2
+.end
+"""))
+        s = net.mdd["s"]
+        assert net.bdd.sat_count(net.init, s.bits) == 2
+
+    def test_empty_reset_means_any_value(self):
+        net = encode(_model("""
+.model m
+.mv s,n 3
+.table s -> n
+- =s
+.latch n s
+.end
+"""))
+        s = net.mdd["s"]
+        assert net.bdd.sat_count(net.init, s.bits) == 3
+
+
+class TestDeterminism:
+    def test_deterministic_table(self):
+        model = _model("""
+.model m
+.table a -> o
+0 1
+1 0
+.end
+""")
+        net = encode(model)
+        assert is_deterministic_table(net.mdd, net.vars, model, model.tables[0])
+
+    def test_nondeterministic_table(self):
+        model = _model("""
+.model m
+.table a -> o
+0 (0,1)
+1 0
+.end
+""")
+        net = encode(model)
+        assert not is_deterministic_table(net.mdd, net.vars, model, model.tables[0])
+
+
+class TestOrdering:
+    def test_variable_order_covers_everything(self):
+        model = _model("""
+.model m
+.mv s,n 3
+.table s x -> n
+- - =s
+.latch n s
+.reset s
+0
+.end
+""")
+        order = variable_order(model)
+        assert set(order) == set(model.declared_variables())
+
+    def test_declared_method(self):
+        model = _model("""
+.model m
+.table a -> o
+0 1
+1 0
+.end
+""")
+        net = encode(model, order_method="declared")
+        assert net.order_method == "declared"
+        with pytest.raises(ValueError):
+            encode(model, order_method="bogus")
+
+    def test_encode_rejects_hierarchy(self):
+        design = parse("""
+.model top
+.subckt leaf u1
+.end
+.model leaf
+.table a -> o
+0 1
+1 0
+.end
+""")
+        with pytest.raises(BlifMvError):
+            encode(design.root_model())

@@ -1,0 +1,73 @@
+"""The design gallery: the paper's 'dozen or so' examples, all verified."""
+
+import pytest
+
+from repro.ctl import ModelChecker
+from repro.lc import check_containment
+from repro.models import GALLERY, TABLE1, get_spec
+from repro.network import SymbolicFsm
+
+
+@pytest.mark.parametrize("name", sorted(GALLERY))
+def test_gallery_design_verifies(name):
+    spec = GALLERY[name]()
+    fsm = SymbolicFsm(spec.flat())
+    fsm.build_transition()
+    reach = fsm.reachable()
+    assert reach.converged
+    checker = ModelChecker(fsm, fairness=spec.pif.bind_fairness(fsm),
+                           reached=reach.reached)
+    for pname, formula in spec.pif.ctl_props:
+        assert checker.check(formula).holds, f"{name}: ctl {pname}"
+    for automaton in spec.pif.automata:
+        fresh = SymbolicFsm(spec.flat())
+        result = check_containment(
+            fresh, automaton, system_fairness=spec.pif.bind_fairness(fresh))
+        assert result.holds, f"{name}: lc {automaton.name}"
+
+
+def test_a_dozen_examples():
+    """Paper §8: 'We have exercised HSIS with a dozen or so small to
+    medium-sized examples.'"""
+    assert len(TABLE1) + len(GALLERY) == 12
+
+
+def test_gallery_reachable_by_name():
+    spec = get_spec("traffic")
+    assert spec.name == "traffic"
+
+
+@pytest.mark.parametrize("name", sorted(GALLERY))
+def test_gallery_designs_are_nontrivial(name):
+    spec = GALLERY[name]()
+    fsm = SymbolicFsm(spec.flat())
+    fsm.build_transition()
+    count = fsm.count_states(fsm.reachable().reached)
+    assert count >= 4, f"{name} has only {count} states"
+    assert len(spec.pif.ctl_props) + len(spec.pif.automata) >= 3
+
+
+class TestRailroadSafety:
+    def test_bridge_mutex_is_tight(self):
+        # both trains *waiting* simultaneously is reachable (the lock is
+        # needed) but both on the bridge is not
+        spec = GALLERY["railroad"]()
+        fsm = SymbolicFsm(spec.flat())
+        fsm.build_transition()
+        reached = fsm.reachable().reached
+        both_waiting = fsm.state_cube({"east": "waiting", "west": "waiting"})
+        both_bridge = fsm.state_cube({"east": "bridge", "west": "bridge"})
+        assert fsm.bdd.and_(reached, both_waiting) != fsm.bdd.false
+        assert fsm.bdd.and_(reached, both_bridge) == fsm.bdd.false
+
+
+class TestGcdTermination:
+    def test_gcd_value_plausible(self):
+        # when done with a==b, that value divides both original operands —
+        # spot check: a=6,b=4 leads to done with a==2 reachable
+        spec = GALLERY["gcd"]()
+        fsm = SymbolicFsm(spec.flat())
+        fsm.build_transition()
+        reached = fsm.reachable().reached
+        done2 = fsm.state_cube({"phase": "done", "a": "2", "b": "2"})
+        assert fsm.bdd.and_(reached, done2) != fsm.bdd.false

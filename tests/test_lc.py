@@ -1,0 +1,167 @@
+"""Tests for language containment: pass/fail, early failure, emptiness."""
+
+import pytest
+
+from repro.automata import (
+    Automaton,
+    FairnessSpec,
+    NegativeStateSet,
+    atom,
+)
+from repro.blifmv import flatten, parse
+from repro.lc import check_containment, doomed_states, language_empty
+from repro.network import SymbolicFsm
+
+TOGGLE = """
+.model toggle
+.mv s,n 2
+.table s -> n
+- (0,1)
+.table s -> out
+- =s
+.mv out 2
+.latch n s
+.reset s
+0
+.end
+"""
+
+STUCK = """
+.model stuck
+.mv s,n 2
+.table s -> n
+0 0
+1 1
+.latch n s
+.reset s
+0
+.end
+"""
+
+
+def model(text):
+    return flatten(parse(text))
+
+
+def invariance(name, bad_guard):
+    aut = Automaton(name=name, states=["A", "B"], initial=["A"])
+    aut.add_edge("A", "A", ~bad_guard)
+    aut.add_edge("A", "B", bad_guard)
+    aut.add_edge("B", "B")
+    aut.accept_invariance(["A"])
+    return aut
+
+
+class TestSafety:
+    def test_holding_invariant(self):
+        # out never equals 2 — vacuously true on a binary net
+        aut = invariance("never2", atom("s", "1") & atom("s", "0"))
+        result = check_containment(model(TOGGLE), aut)
+        assert result.holds
+        assert result.fair_scc is None
+
+    def test_violated_invariant(self):
+        aut = invariance("never1", atom("out", "1"))
+        result = check_containment(model(TOGGLE), aut)
+        assert not result.holds
+        assert result.fair_scc is not None
+
+    def test_early_failure_detection_fires(self):
+        aut = invariance("never1", atom("out", "1"))
+        result = check_containment(model(TOGGLE), aut, early_fail=True)
+        assert not result.holds
+        assert result.early_failure
+
+    def test_early_fail_disabled_same_verdict(self):
+        aut = invariance("never1", atom("out", "1"))
+        with_ef = check_containment(model(TOGGLE), aut, early_fail=True)
+        without = check_containment(model(TOGGLE), aut, early_fail=False)
+        assert with_ef.holds == without.holds is False
+        assert not without.early_failure
+
+    def test_quantify_methods_same_verdict(self):
+        for method in ("greedy", "linear", "monolithic"):
+            aut = invariance("never1", atom("out", "1"))
+            result = check_containment(
+                model(TOGGLE), aut, quantify_method=method)
+            assert not result.holds
+
+
+class TestLiveness:
+    def recurrence(self):
+        aut = Automaton(name="recur1", states=["Z", "O"], initial=["Z"])
+        aut.add_edge("Z", "O", atom("s", "1"))
+        aut.add_edge("Z", "Z", ~atom("s", "1"))
+        aut.add_edge("O", "O", atom("s", "1"))
+        aut.add_edge("O", "Z", ~atom("s", "1"))
+        aut.accept_recurrence([("Z", "O"), ("O", "O")])
+        return aut
+
+    def test_liveness_fails_without_fairness(self):
+        result = check_containment(model(TOGGLE), self.recurrence())
+        assert not result.holds  # system may stay at s=0 forever
+
+    def test_liveness_holds_with_fairness(self):
+        fsm = SymbolicFsm(model(TOGGLE))
+        spec = FairnessSpec([NegativeStateSet(fsm.var("s").literal("0"))])
+        result = check_containment(fsm, self.recurrence(), system_fairness=spec)
+        assert result.holds
+
+    def test_empty_acceptance_rejects_everything(self):
+        # an automaton with no accepting pair accepts nothing: containment
+        # fails iff the system has any fair run at all
+        aut = Automaton(name="nothing", states=["A"], initial=["A"])
+        aut.add_edge("A", "A")
+        result = check_containment(model(TOGGLE), aut)
+        assert not result.holds
+
+
+class TestLanguageEmpty:
+    def test_nonempty_without_fairness(self):
+        fsm = SymbolicFsm(model(STUCK))
+        fsm.build_transition()
+        assert not language_empty(fsm)
+
+    def test_empty_under_contradictory_fairness(self):
+        fsm = SymbolicFsm(model(STUCK))
+        fsm.build_transition()
+        spec = FairnessSpec([
+            NegativeStateSet(fsm.var("s").literal("0")),
+        ])
+        # from reset the only run parks at s=0, which is unfair
+        assert language_empty(fsm, spec)
+
+
+class TestDoomedStates:
+    def test_safety_trap_is_doomed(self):
+        aut = invariance("inv", atom("out", "1"))
+        doomed = doomed_states(aut)
+        assert doomed == {"B"}
+
+    def test_recurrence_has_no_doomed(self):
+        aut = Automaton(name="r", states=["Z", "O"], initial=["Z"])
+        aut.add_edge("Z", "O").add_edge("O", "Z")
+        aut.accept_recurrence([("Z", "O")])
+        assert doomed_states(aut) == set()
+
+    def test_unreachable_accepting_core(self):
+        # B cannot reach the accepting self-loop on A
+        aut = Automaton(name="x", states=["A", "B"], initial=["A"])
+        aut.add_edge("A", "A").add_edge("A", "B").add_edge("B", "B")
+        aut.accept_recurrence([("A", "A")])
+        assert doomed_states(aut) == {"B"}
+
+    def test_all_doomed_when_no_pairs(self):
+        aut = Automaton(name="none", states=["A"], initial=["A"])
+        aut.add_edge("A", "A")
+        assert doomed_states(aut) == {"A"}
+
+
+class TestResultShape:
+    def test_result_fields(self):
+        aut = invariance("never1", atom("out", "1"))
+        result = check_containment(model(TOGGLE), aut)
+        assert result.failed
+        assert result.reach.iterations >= 0
+        assert result.seconds >= 0
+        assert result.monitor.automaton.name == "never1"

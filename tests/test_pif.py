@@ -1,0 +1,176 @@
+"""Tests for the Property Intermediate Format parser and binding."""
+
+import pytest
+
+from repro.automata import BuchiEdge, BuchiState, NegativeStateSet, StreettPair
+from repro.blifmv import flatten, parse
+from repro.ctl.ast import AG, Atom
+from repro.network import SymbolicFsm
+from repro.pif import PifError, formula_to_guard, parse_pif
+
+TOGGLE = """
+.model toggle
+.mv s,n 2
+.table s -> n
+- (0,1)
+.latch n s
+.reset s
+0
+.end
+"""
+
+
+def fsm():
+    machine = SymbolicFsm(flatten(parse(TOGGLE)))
+    machine.build_transition()
+    return machine
+
+
+class TestCtlProps:
+    def test_named_formula(self):
+        pif = parse_pif("ctl safe :: AG !(s=1)")
+        assert pif.ctl_props == [("safe", AG(Atom("s", ("1",)).__invert__()))] or \
+            str(pif.ctl_props[0][1]) == "AG !s=1"
+        assert pif.ctl_props[0][0] == "safe"
+
+    def test_multiple_props(self):
+        pif = parse_pif("ctl a :: s=0\nctl b :: s=1\n")
+        assert [name for name, _ in pif.ctl_props] == ["a", "b"]
+
+    def test_missing_separator(self):
+        with pytest.raises(PifError):
+            parse_pif("ctl just_a_name AG s=1")
+
+
+class TestAutomata:
+    TEXT = """
+automaton watch
+  states A B
+  initial A
+  edge A A :: !(s=1)
+  edge A B :: s=1
+  edge B B
+  accept invariance A
+end
+"""
+
+    def test_structure(self):
+        pif = parse_pif(self.TEXT)
+        aut = pif.automaton("watch")
+        assert aut.states == ["A", "B"]
+        assert aut.initial == ["A"]
+        assert len(aut.edges) == 3
+        assert len(aut.rabin_pairs) == 1
+
+    def test_unknown_automaton(self):
+        pif = parse_pif(self.TEXT)
+        with pytest.raises(PifError):
+            pif.automaton("nope")
+
+    def test_recurrence_acceptance(self):
+        pif = parse_pif("""
+automaton r
+  states A B
+  initial A
+  edge A B
+  edge B A
+  accept recurrence A->B, B->A
+end
+""")
+        fin, inf = pif.automaton("r").rabin_pairs[0]
+        assert fin == frozenset()
+        assert inf == {("A", "B"), ("B", "A")}
+
+    def test_rabin_acceptance(self):
+        pif = parse_pif("""
+automaton r
+  states A B
+  initial A
+  edge A B
+  edge B A
+  accept rabin fin { A->B } inf { B->A }
+end
+""")
+        fin, inf = pif.automaton("r").rabin_pairs[0]
+        assert fin == {("A", "B")}
+        assert inf == {("B", "A")}
+
+    def test_missing_end(self):
+        with pytest.raises(PifError):
+            parse_pif("automaton a\n  states A\n  initial A\n")
+
+    def test_bad_edge_line(self):
+        with pytest.raises(PifError):
+            parse_pif("automaton a\n states A\n initial A\n edge A\nend")
+
+    def test_bad_acceptance(self):
+        with pytest.raises(PifError):
+            parse_pif(
+                "automaton a\n states A\n initial A\n edge A A\n"
+                " accept sometimes A\nend")
+
+
+class TestFairness:
+    def test_negative(self):
+        pif = parse_pif("fairness negative :: s=0")
+        machine = fsm()
+        spec = pif.bind_fairness(machine)
+        assert len(spec) == 1
+        assert isinstance(spec.constraints[0], NegativeStateSet)
+        assert spec.constraints[0].states == machine.var("s").literal("0")
+
+    def test_buchi(self):
+        pif = parse_pif("fairness buchi :: s=1")
+        spec = pif.bind_fairness(fsm())
+        assert isinstance(spec.constraints[0], BuchiState)
+
+    def test_edge_with_primed_vars(self):
+        pif = parse_pif("fairness edge :: s=0 & s'=1")
+        machine = fsm()
+        spec = pif.bind_fairness(machine)
+        assert isinstance(spec.constraints[0], BuchiEdge)
+        expected = machine.bdd.and_(
+            machine.var("s").literal("0"), machine.var("s#n").literal("1"))
+        assert spec.constraints[0].edges == expected
+
+    def test_streett(self):
+        pif = parse_pif("fairness streett :: s=0 ; s=1")
+        spec = pif.bind_fairness(fsm())
+        assert isinstance(spec.constraints[0], StreettPair)
+
+    def test_streett_needs_two_parts(self):
+        with pytest.raises(PifError):
+            parse_pif("fairness streett :: s=0")
+
+    def test_unknown_kind(self):
+        with pytest.raises(PifError):
+            parse_pif("fairness wishful :: s=0")
+
+
+class TestGuardConversion:
+    def test_temporal_rejected(self):
+        from repro.ctl import parse_ctl
+        with pytest.raises(PifError):
+            formula_to_guard(parse_ctl("AG s=1"))
+
+    def test_connectives(self):
+        from repro.ctl import parse_ctl
+        machine = fsm()
+        for text in ("s=0 & s=1", "s=0 | s=1", "!(s=0)", "s=0 -> s=1",
+                     "s=0 <-> s=1", "TRUE", "FALSE"):
+            guard = formula_to_guard(parse_ctl(text))
+            node = guard.to_bdd(machine)  # compiles without error
+            assert isinstance(node, int)
+
+    def test_comments_and_blank_lines(self):
+        pif = parse_pif("""
+# a comment
+
+ctl a :: s=1  # trailing comment
+
+""")
+        assert len(pif.ctl_props) == 1
+
+    def test_unexpected_line(self):
+        with pytest.raises(PifError):
+            parse_pif("hello world")

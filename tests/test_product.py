@@ -1,0 +1,91 @@
+"""Tests for model-level product composition (system x monitor)."""
+
+import pytest
+
+from repro.blifmv import BlifMvError, flatten, parse
+from repro.ctl import check_ctl
+from repro.network import SymbolicFsm, compose
+
+SYSTEM = """
+.model sys
+.mv s,n 2
+.table s -> n
+0 1
+1 0
+.table s -> out
+- =s
+.mv out 2
+.latch n s
+.reset s
+0
+.end
+"""
+
+# A monitor written as BLIF-MV, observing the system net 'out'.
+MONITOR = """
+.model watch
+.inputs out
+.mv out 2
+.mv st,stn 2
+.table out st -> stn
+1 - 1
+0 - =st
+.latch stn st
+.reset st
+0
+.end
+"""
+
+
+class TestCompose:
+    def test_product_machine(self):
+        system = flatten(parse(SYSTEM))
+        monitor = flatten(parse(MONITOR))
+        product = compose(system, monitor)
+        fsm = SymbolicFsm(product)
+        fsm.build_transition()
+        # the monitor latch is namespaced
+        names = {l.name for l in fsm.latches}
+        assert names == {"s", "watch.st"}
+
+    def test_monitor_observes_system(self):
+        system = flatten(parse(SYSTEM))
+        monitor = flatten(parse(MONITOR))
+        fsm = SymbolicFsm(compose(system, monitor))
+        # once out=1 has been seen, st latches to 1 forever
+        result = check_ctl(fsm, "AG (watch.st=1 -> AX watch.st=1)")
+        assert result.holds
+        result = check_ctl(fsm, "AF watch.st=1")
+        assert result.holds  # out goes to 1 on the second tick
+
+    def test_missing_nets_rejected(self):
+        system = flatten(parse(SYSTEM))
+        monitor = flatten(parse("""
+.model watch
+.inputs nothere
+.table nothere -> x
+- 1
+.end
+"""))
+        with pytest.raises(BlifMvError) as err:
+            compose(system, monitor)
+        assert "nothere" in str(err.value)
+
+    def test_hierarchical_inputs_rejected(self):
+        design = parse(SYSTEM)
+        hier = parse("""
+.model top
+.subckt x u1
+.end
+.model x
+.end
+""")
+        with pytest.raises(BlifMvError):
+            compose(hier.root_model(), flatten(design))
+
+    def test_custom_prefix(self):
+        system = flatten(parse(SYSTEM))
+        monitor = flatten(parse(MONITOR))
+        product = compose(system, monitor, prefix="m0")
+        names = {l.output for l in product.latches}
+        assert "m0.st" in names

@@ -1,0 +1,122 @@
+"""Tests for early-quantification scheduling (all methods must agree)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+from repro.network.quantify import (
+    Conjunct,
+    METHODS,
+    make_conjuncts,
+    multiply_and_quantify,
+)
+
+N_VARS = 8
+
+
+def fresh():
+    bdd = BDD()
+    for i in range(N_VARS):
+        bdd.add_var(f"v{i}")
+    return bdd
+
+
+def chain_conjuncts(bdd, length):
+    """A chain r_i(v_i, v_{i+1}) — the classic early-quantification shape."""
+    out = []
+    for i in range(length):
+        node = bdd.xnor(bdd.var(f"v{i}"), bdd.var(f"v{i + 1}"))
+        out.append((node, f"r{i}"))
+    return make_conjuncts(bdd, out)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_chain_result(self, method):
+        bdd = fresh()
+        conjuncts = chain_conjuncts(bdd, 5)
+        quantify = {bdd.var_index(f"v{i}") for i in range(1, 5)}
+        result = multiply_and_quantify(bdd, conjuncts, quantify, method=method)
+        # The chain of equalities collapses to v0 == v5.
+        assert result.node == bdd.xnor(bdd.var("v0"), bdd.var("v5"))
+
+    def test_methods_agree_pairwise(self):
+        bdd = fresh()
+        conjuncts = chain_conjuncts(bdd, 6)
+        quantify = {bdd.var_index(f"v{i}") for i in (1, 3, 5)}
+        results = {
+            m: multiply_and_quantify(bdd, conjuncts, quantify, method=m).node
+            for m in METHODS
+        }
+        assert len(set(results.values())) == 1
+
+    def test_empty_pool(self):
+        bdd = fresh()
+        result = multiply_and_quantify(bdd, [], {0, 1}, method="greedy")
+        assert result.node == bdd.true
+
+    def test_unknown_method(self):
+        bdd = fresh()
+        with pytest.raises(ValueError):
+            multiply_and_quantify(bdd, [], set(), method="quantum")
+
+    def test_vacuous_variables_ignored(self):
+        bdd = fresh()
+        conjuncts = make_conjuncts(bdd, [(bdd.var("v0"), "r0")])
+        result = multiply_and_quantify(
+            bdd, conjuncts, {bdd.var_index("v7")}, method="greedy"
+        )
+        assert result.node == bdd.var("v0")
+
+
+class TestEarlyQuantificationWins:
+    def test_greedy_peak_not_worse_than_monolithic_on_chain(self):
+        """The whole point (paper §4): quantifying early keeps peaks small."""
+        bdd = fresh()
+        conjuncts = chain_conjuncts(bdd, 7)
+        quantify = {bdd.var_index(f"v{i}") for i in range(1, 7)}
+        greedy = multiply_and_quantify(bdd, conjuncts, quantify, method="greedy")
+        mono = multiply_and_quantify(bdd, conjuncts, quantify, method="monolithic")
+        assert greedy.node == mono.node
+        assert greedy.peak_size <= mono.peak_size
+
+    def test_steps_recorded(self):
+        bdd = fresh()
+        conjuncts = chain_conjuncts(bdd, 4)
+        quantify = {bdd.var_index(f"v{i}") for i in range(1, 4)}
+        result = multiply_and_quantify(bdd, conjuncts, quantify, method="greedy")
+        assert result.steps
+        quantified = {v for step in result.steps for v in step.quantified}
+        assert quantified == quantify
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(range(N_VARS)),
+            st.sampled_from(range(N_VARS)),
+            st.sampled_from(["and", "or", "xnor"]),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    st.sets(st.sampled_from(range(N_VARS)), max_size=4),
+)
+def test_methods_agree_on_random_pools(pairs, quantify):
+    """Property: all three schedulers compute the same function."""
+    bdd = fresh()
+    ops = {"and": bdd.and_, "or": bdd.or_, "xnor": bdd.xnor}
+    pool = []
+    for index, (a, b, op) in enumerate(pairs):
+        node = ops[op](bdd.var(a), bdd.var(b))
+        pool.append((node, f"r{index}"))
+    conjuncts = make_conjuncts(bdd, pool)
+    results = {
+        m: multiply_and_quantify(bdd, conjuncts, set(quantify), method=m).node
+        for m in METHODS
+    }
+    assert len(set(results.values())) == 1
+    # Reference: naive conjunction then quantification.
+    naive = bdd.exist(sorted(quantify), bdd.conj(n for n, _ in pool))
+    assert results["monolithic"] == naive

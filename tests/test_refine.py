@@ -1,0 +1,154 @@
+"""Tests for refinement checking (hierarchical verification, §8 item 3)."""
+
+import pytest
+
+from repro.blifmv import BlifMvError, flatten, parse
+from repro.refine import check_refinement
+
+FREE_TOGGLE = """
+.model free
+.mv s,n 2
+.table s -> n
+- (0,1)
+.table s -> out
+- =s
+.mv out 2
+.latch n s
+.reset s
+0
+.end
+"""
+
+ALTERNATOR = """
+.model alt
+.mv s,n 2
+.table s -> n
+0 1
+1 0
+.table s -> out
+- =s
+.mv out 2
+.latch n s
+.reset s
+0
+.end
+"""
+
+STUCK_LOW = """
+.model low
+.mv s,n 2
+.table s -> n
+- 0
+.table s -> out
+- =s
+.mv out 2
+.latch n s
+.reset s
+0
+.end
+"""
+
+# Same observable language as ALTERNATOR but with an extra internal latch.
+ALTERNATOR_2LATCH = """
+.model alt2
+.mv s,n 2
+.mv t,tn 2
+.table s -> n
+0 1
+1 0
+.table s -> tn
+- =s
+.table s -> out
+- =s
+.mv out 2
+.latch n s
+.reset s
+0
+.latch tn t
+.reset t
+0
+.end
+"""
+
+
+def m(text):
+    return flatten(parse(text))
+
+
+class TestRefinementVerdicts:
+    def test_determinization_is_refinement(self):
+        result = check_refinement(m(ALTERNATOR), m(FREE_TOGGLE), ["out"])
+        assert result.holds
+
+    def test_stuck_refines_free(self):
+        result = check_refinement(m(STUCK_LOW), m(FREE_TOGGLE), ["out"])
+        assert result.holds
+
+    def test_added_behaviour_rejected(self):
+        result = check_refinement(m(FREE_TOGGLE), m(ALTERNATOR), ["out"])
+        assert not result.holds
+        assert result.unmatched_initial is not None
+
+    def test_stuck_does_not_refine_alternator(self):
+        result = check_refinement(m(STUCK_LOW), m(ALTERNATOR), ["out"])
+        assert not result.holds
+
+    def test_reflexive(self):
+        result = check_refinement(m(ALTERNATOR), m(ALTERNATOR), ["out"])
+        assert result.holds
+
+    def test_structural_mismatch_is_fine(self):
+        # different latch counts, same observable behaviour
+        result = check_refinement(m(ALTERNATOR_2LATCH), m(ALTERNATOR), ["out"])
+        assert result.holds
+        result = check_refinement(m(ALTERNATOR), m(ALTERNATOR_2LATCH), ["out"])
+        assert result.holds
+
+
+class TestErrors:
+    def test_missing_observable(self):
+        with pytest.raises(BlifMvError):
+            check_refinement(m(ALTERNATOR), m(FREE_TOGGLE), ["zz"])
+
+    def test_domain_mismatch(self):
+        other = flatten(parse("""
+.model o
+.mv s,n 2
+.mv out 3
+.table s -> n
+- =s
+.table s -> out
+0 0
+1 1
+.latch n s
+.reset s
+0
+.end
+"""))
+        with pytest.raises(BlifMvError):
+            check_refinement(m(ALTERNATOR), other, ["out"])
+
+    def test_hierarchy_rejected(self):
+        design = parse("""
+.model top
+.subckt leaf u1
+.end
+.model leaf
+.table a -> b
+0 1
+1 0
+.end
+""")
+        with pytest.raises(BlifMvError):
+            check_refinement(design.root_model(), m(ALTERNATOR), ["out"])
+
+
+class TestRelationShape:
+    def test_relation_respects_observables(self):
+        result = check_refinement(m(ALTERNATOR), m(FREE_TOGGLE), ["out"])
+        fsm = result.fsm
+        bdd = fsm.bdd
+        # (impl s=0, spec s=1) differ on out and cannot be related
+        impl0 = fsm.var("impl.s").literal("0")
+        spec1 = fsm.var("spec.s").literal("1")
+        assert bdd.and_(bdd.and_(result.relation, impl0), spec1) == bdd.false

@@ -1,0 +1,146 @@
+"""Tests for the state-based simulator."""
+
+import pytest
+
+from repro.blifmv import flatten, parse
+from repro.network import SymbolicFsm
+from repro.sim import Simulator
+
+COUNTER = """
+.model counter
+.mv s,n 4
+.table s -> n
+0 1
+1 2
+2 3
+3 0
+.latch n s
+.reset s
+0
+.end
+"""
+
+BRANCHY = """
+.model branchy
+.mv s,n 3
+.table s -> n
+0 (1,2)
+1 0
+2 0
+.latch n s
+.reset s
+0
+.end
+"""
+
+DEADLOCK = """
+.model dead
+.mv s,n 2
+.table s -> n
+0 1
+.latch n s
+.reset s
+0
+.end
+"""
+
+
+def fsm_for(text):
+    return SymbolicFsm(flatten(parse(text)))
+
+
+class TestLifecycle:
+    def test_reset_to_initial(self):
+        sim = Simulator(fsm_for(COUNTER))
+        state = sim.reset()
+        assert state == {"s": "0"}
+
+    def test_reset_to_specific_state(self):
+        sim = Simulator(fsm_for(COUNTER))
+        state = sim.reset({"s": "2"})
+        assert state == {"s": "2"}
+
+    def test_step_follows_transition(self):
+        sim = Simulator(fsm_for(COUNTER))
+        sim.reset()
+        assert sim.step() == {"s": "1"}
+        assert sim.step() == {"s": "2"}
+
+    def test_step_before_reset_rejected(self):
+        sim = Simulator(fsm_for(COUNTER))
+        with pytest.raises(ValueError):
+            sim.step()
+        with pytest.raises(ValueError):
+            sim.successors()
+
+    def test_initial_states_enumeration(self):
+        sim = Simulator(fsm_for(BRANCHY))
+        assert sim.initial_states() == [{"s": "0"}]
+
+
+class TestChoices:
+    def test_successors_enumerated(self):
+        sim = Simulator(fsm_for(BRANCHY))
+        sim.reset()
+        succs = sim.successors()
+        assert {s["s"] for s in succs} == {"1", "2"}
+
+    def test_explicit_choice(self):
+        sim = Simulator(fsm_for(BRANCHY))
+        sim.reset()
+        succs = sim.successors()
+        chosen = sim.step(choice=0)
+        assert chosen == succs[0]
+
+    def test_choice_out_of_range(self):
+        sim = Simulator(fsm_for(COUNTER))
+        sim.reset()
+        with pytest.raises(IndexError):
+            sim.step(choice=5)
+
+    def test_deadlock_detected(self):
+        sim = Simulator(fsm_for(DEADLOCK))
+        sim.reset()
+        sim.step()  # to s=1, which has no row
+        with pytest.raises(ValueError):
+            sim.step()
+
+
+class TestRuns:
+    def test_run_records_trace(self):
+        sim = Simulator(fsm_for(COUNTER), seed=1)
+        sim.reset()
+        trace = sim.run(5)
+        assert len(trace.states) == 6  # initial + 5 steps
+        assert "0:" in trace.format()
+
+    def test_run_with_policy(self):
+        sim = Simulator(fsm_for(BRANCHY), seed=1)
+        sim.reset()
+        # always pick the successor with the smallest value
+        sim.run(4, policy=lambda succs: min(
+            range(len(succs)), key=lambda i: succs[i]["s"]))
+        values = [s["s"] for s in sim.trace.states]
+        assert values == ["0", "1", "0", "1", "0"]
+
+    def test_visited_count(self):
+        sim = Simulator(fsm_for(COUNTER), seed=0)
+        sim.reset()
+        sim.run(8)  # full cycle twice
+        assert sim.visited_count() == 4
+
+    def test_deterministic_with_seed(self):
+        runs = []
+        for _ in range(2):
+            sim = Simulator(fsm_for(BRANCHY), seed=42)
+            sim.reset()
+            sim.run(6)
+            runs.append([s["s"] for s in sim.trace.states])
+        assert runs[0] == runs[1]
+
+    def test_check_predicate(self):
+        sim = Simulator(fsm_for(COUNTER))
+        sim.reset()
+        assert sim.check({"s": "0"})
+        sim.step()
+        assert not sim.check({"s": "0"})

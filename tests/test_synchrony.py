@@ -1,0 +1,166 @@
+"""Tests for synchrony trees (extended c/s, paper §4)."""
+
+import pytest
+
+from repro.blifmv import flatten, parse, write
+from repro.blifmv.synchrony import (
+    SynchronyError,
+    SyncLeaf,
+    SyncNode,
+    enumerate_update_sets,
+    parse_synchrony,
+    validate_tree,
+)
+from repro.network import SymbolicFsm
+
+TWO_TOGGLES = """
+.model async2
+.mv a,an 2
+.mv b,bn 2
+.table a -> an
+0 1
+1 0
+.table b -> bn
+0 1
+1 0
+.latch an a
+.reset a
+0
+.latch bn b
+.reset b
+0
+{synchrony}
+.end
+"""
+
+
+def machine(synchrony: str):
+    text = TWO_TOGGLES.format(synchrony=synchrony)
+    fsm = SymbolicFsm(flatten(parse(text)))
+    fsm.build_transition()
+    return fsm
+
+
+def image_pairs(fsm, a, b):
+    img = fsm.image(fsm.state_cube({"a": a, "b": b}))
+    return {(s["a"], s["b"]) for s in fsm.states_iter(img)}
+
+
+class TestParsing:
+    def test_leaf(self):
+        assert parse_synchrony("x") == SyncLeaf("x")
+
+    def test_nested(self):
+        tree = parse_synchrony("(A (S a b) c)")
+        assert isinstance(tree, SyncNode)
+        assert tree.label == "A"
+        assert tree.children[0] == SyncNode("S", (SyncLeaf("a"), SyncLeaf("b")))
+
+    @pytest.mark.parametrize("text", [
+        "(A", "(A a))", "(X a b)", "()", "", "(A a a)",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(SynchronyError):
+            parse_synchrony(text)
+
+    def test_roundtrip_sexpr(self):
+        tree = parse_synchrony("(A (S a b) (S c d))")
+        assert parse_synchrony(tree.to_sexpr()) == tree
+
+    def test_validate_unknown_latch(self):
+        tree = parse_synchrony("(A a zz)")
+        with pytest.raises(SynchronyError):
+            validate_tree(tree, {"a", "b"})
+
+
+class TestUpdateSets:
+    def test_async_chooses_one(self):
+        tree = parse_synchrony("(A a b)")
+        assert enumerate_update_sets(tree) == [{"a"}, {"b"}]
+
+    def test_sync_takes_all(self):
+        tree = parse_synchrony("(S a b)")
+        assert enumerate_update_sets(tree) == [{"a", "b"}]
+
+    def test_mixed(self):
+        tree = parse_synchrony("(S (A a b) c)")
+        sets = enumerate_update_sets(tree)
+        assert {frozenset(s) for s in sets} == {
+            frozenset({"a", "c"}), frozenset({"b", "c"})}
+
+
+class TestSemantics:
+    def test_async_interleaving(self):
+        fsm = machine(".synchrony (A a b)")
+        assert image_pairs(fsm, "0", "0") == {("1", "0"), ("0", "1")}
+
+    def test_sync_default(self):
+        fsm = machine("")
+        assert image_pairs(fsm, "0", "0") == {("1", "1")}
+
+    def test_explicit_sync_tree_matches_default(self):
+        fsm = machine(".synchrony (S a b)")
+        assert image_pairs(fsm, "0", "0") == {("1", "1")}
+
+    def test_partial_tree_keeps_others_synchronous(self):
+        # only 'a' in the tree: 'b' updates every tick
+        fsm = machine(".synchrony (A a)")
+        assert image_pairs(fsm, "0", "0") == {("1", "1")}
+
+    def test_async_reachability(self):
+        fsm = machine(".synchrony (A a b)")
+        reached = fsm.reachable().reached
+        assert fsm.count_states(reached) == 4
+
+    def test_hold_semantics_in_trace(self):
+        fsm = machine(".synchrony (A a b)")
+        img = image_pairs(fsm, "1", "0")
+        # a toggles (0,0) or b toggles (1,1); never both
+        assert img == {("0", "0"), ("1", "1")}
+
+    def test_three_way_selector(self):
+        text = """
+.model async3
+.mv a,an 2
+.mv b,bn 2
+.mv c,cn 2
+.table a -> an
+- 1
+.table b -> bn
+- 1
+.table c -> cn
+- 1
+.latch an a
+.reset a
+0
+.latch bn b
+.reset b
+0
+.latch cn c
+.reset c
+0
+.synchrony (A a b c)
+.end
+"""
+        fsm = SymbolicFsm(flatten(parse(text)))
+        fsm.build_transition()
+        img = fsm.image(fsm.state_cube({"a": "0", "b": "0", "c": "0"}))
+        got = {tuple(sorted(s.items())) for s in fsm.states_iter(img)}
+        assert len(got) == 3  # exactly one of the three moved
+
+
+class TestHierarchy:
+    def test_writer_roundtrip(self):
+        design = parse(TWO_TOGGLES.format(synchrony=".synchrony (A a b)"))
+        again = parse(write(design))
+        assert again.root_model().synchrony is not None
+
+    def test_flatten_preserves_tree(self):
+        model = flatten(parse(TWO_TOGGLES.format(synchrony=".synchrony (A a b)")))
+        assert model.synchrony is not None
+        assert set(model.synchrony.leaves()) == {"a", "b"}
+
+    def test_duplicate_synchrony_rejected(self):
+        with pytest.raises(Exception):
+            parse(TWO_TOGGLES.format(
+                synchrony=".synchrony (A a b)\n.synchrony (A a b)"))

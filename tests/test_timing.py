@@ -1,0 +1,128 @@
+"""Tests for timing verification: delay elaboration + bounded response."""
+
+import pytest
+
+from repro.blifmv import BlifMvError, flatten, parse
+from repro.ctl import ModelChecker, check_ctl
+from repro.lc import check_containment
+from repro.network import SymbolicFsm
+from repro.network.timing import (
+    DelayBound,
+    bounded_response_automaton,
+    elaborate_delays,
+)
+
+# req pulses once; ack follows req combinationally through a delayed latch.
+PULSE = """
+.model pulse
+.mv req,reqn 2
+.mv ack,ackn 2
+.table req -> reqn
+- 1
+.table req -> ackn
+- =req
+.latch reqn req
+.reset req
+0
+.latch ackn ack
+.reset ack
+0
+.end
+"""
+
+
+def timed_machine(low, high):
+    model = flatten(parse(PULSE))
+    timed = elaborate_delays(model, {"ack": DelayBound(low, high)})
+    fsm = SymbolicFsm(timed)
+    fsm.build_transition()
+    return fsm
+
+
+class TestDelayBounds:
+    def test_bounds_validation(self):
+        with pytest.raises(BlifMvError):
+            DelayBound(0, 2)
+        with pytest.raises(BlifMvError):
+            DelayBound(3, 2)
+
+    def test_unknown_latch(self):
+        model = flatten(parse(PULSE))
+        with pytest.raises(BlifMvError):
+            elaborate_delays(model, {"zz": DelayBound(1, 2)})
+
+    def test_untimed_latches_untouched(self):
+        model = flatten(parse(PULSE))
+        timed = elaborate_delays(model, {"ack": DelayBound(1, 2)})
+        req_latches = [l for l in timed.latches if l.output == "req"]
+        assert req_latches and req_latches[0].input == "reqn"
+
+
+class TestDelaySemantics:
+    def test_delay_one_rise_depth(self):
+        # req rises at depth 1, the change is armed at depth 2 (inertial
+        # detection tick), and a [1,1] delay commits at depth 3 exactly.
+        fsm = timed_machine(1, 1)
+        reach = fsm.reachable()
+        depths = [
+            depth for depth, ring in enumerate(reach.rings)
+            if fsm.bdd.and_(ring, fsm.var("ack").literal("1")) != fsm.bdd.false
+        ]
+        assert depths and min(depths) == 3
+
+    def test_ack_rise_window(self):
+        # delay [1,3]: the earliest commit shows at depth 3; the forced
+        # commit at ticks=3 keeps ack low in some run through depth 4.
+        fsm = timed_machine(1, 3)
+        reach = fsm.reachable()
+        depths = [
+            depth for depth, ring in enumerate(reach.rings)
+            if fsm.bdd.and_(ring, fsm.var("ack").literal("1")) != fsm.bdd.false
+        ]
+        assert min(depths) == 3
+        low_depths = [
+            depth for depth, ring in enumerate(reach.rings)
+            if fsm.bdd.and_(ring, fsm.var("ack").literal("0")) != fsm.bdd.false
+        ]
+        assert max(low_depths) == 4
+
+    def test_eventually_commits(self):
+        fsm = timed_machine(2, 4)
+        result = check_ctl(fsm, "AF ack=1")
+        assert result.holds  # the upper bound forces the commit
+
+
+class TestBoundedResponse:
+    def test_automaton_shape(self):
+        aut = bounded_response_automaton("req", "ack", within=3)
+        assert set(aut.states) == {"IDLE", "W1", "W2", "W3", "LATE"}
+        assert aut.rabin_pairs
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            bounded_response_automaton("req", "ack", within=0)
+
+    def test_tight_bound_passes(self):
+        # delay [1,2] means ack within 3 ticks of the (persistent) req
+        model = flatten(parse(PULSE))
+        timed = elaborate_delays(model, {"ack": DelayBound(1, 2)})
+        aut = bounded_response_automaton("req", "ack", within=3)
+        result = check_containment(SymbolicFsm(timed), aut)
+        assert result.holds
+
+    def test_too_tight_bound_fails(self):
+        model = flatten(parse(PULSE))
+        timed = elaborate_delays(model, {"ack": DelayBound(3, 5)})
+        aut = bounded_response_automaton("req", "ack", within=2)
+        result = check_containment(SymbolicFsm(timed), aut)
+        assert not result.holds
+
+    def test_verdict_boundary_exact(self):
+        # delay exactly [2,2]: ack comes 3 ticks after req first seen by
+        # the monitor; bound 3 passes, bound 2 fails
+        model = flatten(parse(PULSE))
+        for bound, expected in ((3, True), (2, False)):
+            timed = elaborate_delays(model, {"ack": DelayBound(2, 2)})
+            aut = bounded_response_automaton("req", "ack", within=bound)
+            result = check_containment(SymbolicFsm(timed), aut)
+            assert result.holds is expected, (bound, expected)

@@ -1,0 +1,151 @@
+"""Property-based tests: the Verilog expression compiler against a
+reference evaluator.
+
+Random expression trees over two small registers are compiled through
+vl2mv -> BLIF-MV -> BDDs; for every register valuation the wire's value
+set (via the model checker's atom projection) must equal direct Python
+evaluation of Verilog semantics.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blifmv import flatten
+from repro.ctl import ModelChecker
+from repro.network import SymbolicFsm
+from repro.verilog import compile_verilog
+
+A_WIDTH, B_WIDTH = 2, 2
+A_SIZE, B_SIZE = 1 << A_WIDTH, 1 << B_WIDTH
+
+BINOPS = ["+", "-", "==", "!=", "<", "<=", ">", ">=", "&", "|", "^", "&&", "||"]
+UNOPS = ["!", "-"]
+
+
+def exprs(depth=2):
+    leaves = st.sampled_from(["a", "b", "0", "1", "2", "3"])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(UNOPS), children),
+            st.tuples(st.sampled_from(BINOPS), children, children),
+            st.tuples(st.just("?:"), children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def to_verilog(expr) -> str:
+    if isinstance(expr, str):
+        return expr
+    if len(expr) == 2:
+        return f"({expr[0]}{to_verilog(expr[1])})"
+    if expr[0] == "?:":
+        return (f"({to_verilog(expr[1])} ? {to_verilog(expr[2])} : "
+                f"{to_verilog(expr[3])})")
+    return f"({to_verilog(expr[1])} {expr[0]} {to_verilog(expr[2])})"
+
+
+def size_of(expr) -> int:
+    """Result modulus mirroring the compiler's domain join."""
+    if isinstance(expr, str):
+        if expr == "a":
+            return A_SIZE
+        if expr == "b":
+            return B_SIZE
+        return max(2, int(expr) + 1)
+    if len(expr) == 2:
+        op, sub = expr
+        return 2 if op == "!" else size_of(sub)
+    if expr[0] == "?:":
+        return max(size_of(expr[2]), size_of(expr[3]))
+    op = expr[0]
+    if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+        return 2
+    return max(size_of(expr[1]), size_of(expr[2]))
+
+
+def evaluate(expr, a: int, b: int) -> int:
+    if isinstance(expr, str):
+        return {"a": a, "b": b}.get(expr, None) if expr in ("a", "b") else int(expr)
+    if len(expr) == 2:
+        op, sub = expr
+        value = evaluate(sub, a, b)
+        if op == "!":
+            return 0 if value else 1
+        return (-value) % size_of(sub)
+    if expr[0] == "?:":
+        return (evaluate(expr[2], a, b) if evaluate(expr[1], a, b)
+                else evaluate(expr[3], a, b))
+    op, left_e, right_e = expr
+    left, right = evaluate(left_e, a, b), evaluate(right_e, a, b)
+    size = max(size_of(left_e), size_of(right_e))
+    table = {
+        "+": lambda: (left + right) % size,
+        "-": lambda: (left - right) % size,
+        "==": lambda: int(left == right),
+        "!=": lambda: int(left != right),
+        "<": lambda: int(left < right),
+        "<=": lambda: int(left <= right),
+        ">": lambda: int(left > right),
+        ">=": lambda: int(left >= right),
+        "&": lambda: (left & right) % size,
+        "|": lambda: (left | right) % size,
+        "^": lambda: (left ^ right) % size,
+        "&&": lambda: int(bool(left) and bool(right)),
+        "||": lambda: int(bool(left) or bool(right)),
+    }
+    return table[op]()
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs())
+def test_compiled_expression_matches_reference(expr):
+    out_size = size_of(expr)
+    source = f"""
+module m;
+  reg [{A_WIDTH - 1}:0] a;
+  reg [{B_WIDTH - 1}:0] b;
+  initial a = 0;
+  initial b = 0;
+  always @(posedge clk) a <= $ND({", ".join(map(str, range(A_SIZE)))});
+  always @(posedge clk) b <= $ND({", ".join(map(str, range(B_SIZE)))});
+  wire [3:0] pad;
+  assign pad = a;
+  wire w;
+  assign w = ({to_verilog(expr)}) == ({to_verilog(expr)});
+endmodule
+"""
+    # Compile the expression itself onto a wire of its own domain by
+    # comparing for equality with itself (always 1) -- that checks the
+    # lowering is at least well-formed -- then check exact values below.
+    fsm = SymbolicFsm(flatten(compile_verilog(source)))
+    fsm.build_transition()
+    checker = ModelChecker(fsm)
+    assert checker.check("AG w=1").holds
+
+    # Exact value check: compile `assign v = expr;` to a wire and compare
+    # the atom projection per register valuation.
+    source2 = f"""
+module m;
+  reg [{A_WIDTH - 1}:0] a;
+  reg [{B_WIDTH - 1}:0] b;
+  initial a = 0;
+  initial b = 0;
+  always @(posedge clk) a <= $ND({", ".join(map(str, range(A_SIZE)))});
+  always @(posedge clk) b <= $ND({", ".join(map(str, range(B_SIZE)))});
+  wire [5:0] v;
+  assign v = {to_verilog(expr)};
+endmodule
+"""
+    fsm2 = SymbolicFsm(flatten(compile_verilog(source2)))
+    fsm2.build_transition()
+    checker2 = ModelChecker(fsm2)
+    for a, b in itertools.product(range(A_SIZE), range(B_SIZE)):
+        expected = evaluate(expr, a, b)
+        state = fsm2.state_cube({"a": str(a), "b": str(b)})
+        value_states = checker2.eval(f"v={expected}")
+        assert fsm2.bdd.and_(state, value_states) != fsm2.bdd.false, (
+            f"{to_verilog(expr)} at a={a} b={b}: expected {expected}"
+        )

@@ -13,10 +13,11 @@ but the orderings — which design has the most states, which LC/MC runs
 dominate — should match.
 """
 
-import time
+import os
 
 import pytest
 
+from conftest import engine_columns
 from paper_data import PAPER_TABLE1
 from repro.ctl import ModelChecker
 from repro.lc import check_containment
@@ -25,6 +26,16 @@ from repro.network import SymbolicFsm
 
 _SPECS = {}
 _PREP = {}
+
+# Kernel knobs, settable from the environment so the cache-limit /
+# auto-GC ablations run against the same bench without code edits:
+#   HSIS_CACHE_LIMIT=5000 HSIS_AUTO_GC=100000 pytest benchmarks/bench_table1.py
+_CACHE_LIMIT = int(os.environ["HSIS_CACHE_LIMIT"]) if "HSIS_CACHE_LIMIT" in os.environ else None
+_AUTO_GC = int(os.environ["HSIS_AUTO_GC"]) if "HSIS_AUTO_GC" in os.environ else None
+
+
+def make_fsm(flat):
+    return SymbolicFsm(flat, auto_gc=_AUTO_GC, cache_limit=_CACHE_LIMIT)
 
 
 def spec_for(name):
@@ -37,7 +48,7 @@ def prepared(name):
     """Built machine + reached states, shared by the mc/lc phases."""
     if name not in _PREP:
         spec = spec_for(name)
-        fsm = SymbolicFsm(spec.flat())
+        fsm = make_fsm(spec.flat())
         fsm.build_transition(method="greedy")
         reach = fsm.reachable()
         _PREP[name] = (fsm, reach)
@@ -51,17 +62,19 @@ def test_read_design(benchmark, name, results_collector):
     flat = spec.flat()
 
     def read():
-        fsm = SymbolicFsm(flat)
+        fsm = make_fsm(flat)
         fsm.build_transition(method="greedy")
         return fsm
 
     fsm = benchmark.pedantic(read, rounds=1, iterations=1)
-    results_collector("table1", name, {
+    columns = {
         "vl_lines": spec.verilog_lines,
         "mv_lines": spec.blifmv_lines,
         "read_s": benchmark.stats["mean"],
         "paper_mv_lines": PAPER_TABLE1[name]["blifmv_lines"],
-    })
+    }
+    columns.update(engine_columns(fsm))
+    results_collector("table1", name, columns)
 
 
 @pytest.mark.parametrize("name", TABLE1)
@@ -74,11 +87,13 @@ def test_reached_states(benchmark, name, results_collector):
 
     result = benchmark.pedantic(reach, rounds=1, iterations=1)
     _PREP[name] = (fsm, result)
-    results_collector("table1", name, {
+    columns = {
         "states": fsm.count_states(result.reached),
         "reach_iters": result.iterations,
         "paper_states": PAPER_TABLE1[name]["states"],
-    })
+    }
+    columns.update(engine_columns(fsm))
+    results_collector("table1", name, columns)
 
 
 @pytest.mark.parametrize("name", TABLE1)
@@ -89,7 +104,7 @@ def test_language_containment(benchmark, name, results_collector):
     def run_all():
         verdicts = []
         for automaton in spec.pif.automata:
-            fsm = SymbolicFsm(spec.flat())
+            fsm = make_fsm(spec.flat())
             fairness = spec.pif.bind_fairness(fsm)
             result = check_containment(fsm, automaton, system_fairness=fairness)
             verdicts.append(result.holds)

@@ -22,6 +22,17 @@ def record(experiment: str, key: str, values: dict) -> None:
     _RESULTS.setdefault(experiment, {}).setdefault(key, {}).update(values)
 
 
+def engine_columns(fsm) -> dict:
+    """Kernel telemetry columns every bench table can merge in."""
+    bdd = fsm.bdd
+    return {
+        "cache_hit": round(bdd.cache_hit_rate(), 3),
+        "peak_nodes": bdd.peak_live_nodes,
+        "gc_runs": bdd.gc_count,
+        "cache_evict": bdd.cache_evictions,
+    }
+
+
 @pytest.fixture(scope="session")
 def results_collector():
     return record

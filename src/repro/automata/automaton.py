@@ -21,7 +21,7 @@ encoded network, so automata can watch latches *and* combinational nets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.automata.fairness import RabinPair
 from repro.bdd.mdd import MvVar

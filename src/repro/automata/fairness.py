@@ -29,7 +29,7 @@ set of all transitions leaving ``S``-states.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,18 @@ class NormalizedFairness:
     @property
     def trivial(self) -> bool:
         return not self.buchi and not self.streett
+
+    def nodes(self):
+        """Iterate every BDD node referenced by the conditions.
+
+        Engines register these as GC roots: fairness constraints live for
+        the whole run of a fair-cycle computation.
+        """
+        for node, _label in self.buchi:
+            yield node
+        for e, f, _label in self.streett:
+            yield e
+            yield f
 
 
 class FairnessSpec:

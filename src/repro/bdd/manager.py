@@ -24,12 +24,25 @@ reordering (see :mod:`repro.bdd.ordering`) only permutes one array.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import sys
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 FALSE = 0
 TRUE = 1
 
 _LEAF_LEVEL = 1 << 30
+
+# Frame tags for the explicit-stack operators.
+_EXPAND = 0
+_REDUCE = 1
+_COMBINE_OR = 2
+_SHORT_CIRCUIT = 3
+
+# Every computed-cache-keyed operation, for per-op hit/miss accounting.
+CACHED_OPS = (
+    "ite", "and", "not", "exist", "andex",
+    "rename", "vcomp", "restr", "constrain", "restrdc",
+)
 
 
 class BddError(Exception):
@@ -43,9 +56,31 @@ class BDD:
     handles; they are only meaningful together with the manager that
     produced them.  Handles stay valid across garbage collections as long
     as they are reachable from a registered root (see :meth:`gc`).
+
+    The manager manages its own resources:
+
+    * ``cache_limit`` bounds the computed cache: when an insertion would
+      exceed the limit the whole cache is dropped (clear-on-threshold —
+      cheap, and correctness never depends on the cache).
+    * ``auto_gc`` arms automatic collection: once more than ``auto_gc``
+      nodes have been created since the last collection, :meth:`_mk`
+      flags a pending GC which runs at the next *safe point* — a
+      :meth:`maybe_gc` call from an engine loop where everything live is
+      either a registered root or passed as an extra root.  The
+      collection can never run in the middle of an operation because
+      intermediate results held in Python locals are invisible to the
+      mark phase.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        auto_gc: Optional[int] = None,
+        cache_limit: Optional[int] = None,
+    ) -> None:
+        if auto_gc is not None and auto_gc < 1:
+            raise BddError("auto_gc threshold must be positive (or None)")
+        if cache_limit is not None and cache_limit < 1:
+            raise BddError("cache_limit must be positive (or None)")
         # Parallel node arrays.  Index 0 is FALSE, index 1 is TRUE.
         self._var: List[int] = [-1, -1]
         self._lo: List[int] = [FALSE, TRUE]
@@ -63,6 +98,15 @@ class BDD:
         # Externally registered GC roots (name -> node).
         self._roots: Dict[str, int] = {}
         self.gc_count = 0
+        # Resource management knobs and telemetry.
+        self.auto_gc = auto_gc
+        self.cache_limit = cache_limit
+        self.cache_evictions = 0
+        self.peak_live_nodes = 2
+        self._gc_pending = False
+        self._nodes_since_gc = 0
+        # op -> [lookups, hits] for the computed cache.
+        self._op_stats: Dict[str, List[int]] = {op: [0, 0] for op in CACHED_OPS}
 
     # ------------------------------------------------------------------
     # Variables and ordering
@@ -174,7 +218,39 @@ class BDD:
             self._lo.append(lo)
             self._hi.append(hi)
         table[key] = node
+        self._nodes_since_gc += 1
+        live = len(self._var) - len(self._free)
+        if live > self.peak_live_nodes:
+            self.peak_live_nodes = live
+        if (
+            self.auto_gc is not None
+            and not self._gc_pending
+            and self._nodes_since_gc >= self.auto_gc
+        ):
+            # Flag only: collecting here would sweep intermediates held in
+            # the in-flight operation's locals.  maybe_gc() runs it at the
+            # next engine safe point.
+            self._gc_pending = True
         return node
+
+    def _cache_insert(self, key: Tuple, value: int) -> None:
+        """Insert into the computed cache, honouring ``cache_limit``."""
+        cache = self._cache
+        if self.cache_limit is not None and len(cache) >= self.cache_limit:
+            cache.clear()
+            self.cache_evictions += 1
+        cache[key] = value
+
+    def _ensure_depth(self) -> None:
+        """Raise the interpreter recursion limit so one descent fits.
+
+        The hot operators are explicit-stack iterative; the remaining
+        recursive ones (rename, compose, restrict, constrain, ...) recurse
+        at most a small multiple of the variable count.
+        """
+        need = 4 * self.var_count + 500
+        if sys.getrecursionlimit() < need:
+            sys.setrecursionlimit(need)
 
     def var(self, name_or_index) -> int:
         """Return the function of a single positive literal."""
@@ -221,69 +297,135 @@ class BDD:
         return f, f
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f & g | ~f & h``.  The universal connective."""
-        # Terminal cases.
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == h:
-            return g
-        if g == TRUE and h == FALSE:
-            return f
+        """If-then-else: ``f & g | ~f & h``.  The universal connective.
+
+        Explicit-stack iterative, so arbitrarily deep BDDs never exhaust
+        the interpreter recursion limit.
+        """
         cache = self._cache
-        key = ("ite", f, g, h)
-        res = cache.get(key)
-        if res is not None:
-            return res
-        var = self.top_var(f, g, h)
-        f0, f1 = self._cofactors(f, var)
-        g0, g1 = self._cofactors(g, var)
-        h0, h1 = self._cofactors(h, var)
-        lo = self.ite(f0, g0, h0)
-        hi = self.ite(f1, g1, h1)
-        res = self._mk(var, lo, hi)
-        cache[key] = res
-        return res
+        stats = self._op_stats["ite"]
+        todo: List[Tuple] = [(_EXPAND, f, g, h)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == _EXPAND:
+                _, f, g, h = frame
+                # Terminal cases.
+                if f == TRUE:
+                    results.append(g)
+                    continue
+                if f == FALSE:
+                    results.append(h)
+                    continue
+                if g == h:
+                    results.append(g)
+                    continue
+                if g == TRUE and h == FALSE:
+                    results.append(f)
+                    continue
+                key = ("ite", f, g, h)
+                stats[0] += 1
+                res = cache.get(key)
+                if res is not None:
+                    stats[1] += 1
+                    results.append(res)
+                    continue
+                var = self.top_var(f, g, h)
+                f0, f1 = self._cofactors(f, var)
+                g0, g1 = self._cofactors(g, var)
+                h0, h1 = self._cofactors(h, var)
+                todo.append((_REDUCE, var, key))
+                todo.append((_EXPAND, f1, g1, h1))
+                todo.append((_EXPAND, f0, g0, h0))
+            else:
+                _, var, key = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._cache_insert(key, res)
+                results.append(res)
+        return results.pop()
 
     def not_(self, f: int) -> int:
-        """Negation."""
-        if f == FALSE:
-            return TRUE
-        if f == TRUE:
-            return FALSE
-        key = ("not", f)
+        """Negation (explicit-stack iterative)."""
         cache = self._cache
-        res = cache.get(key)
-        if res is not None:
-            return res
-        var = self._var[f]
-        res = self._mk(var, self.not_(self._lo[f]), self.not_(self._hi[f]))
-        cache[key] = res
-        cache[("not", res)] = f
-        return res
+        stats = self._op_stats["not"]
+        todo: List[Tuple] = [(_EXPAND, f)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == _EXPAND:
+                _, f = frame
+                if f == FALSE:
+                    results.append(TRUE)
+                    continue
+                if f == TRUE:
+                    results.append(FALSE)
+                    continue
+                stats[0] += 1
+                res = cache.get(("not", f))
+                if res is not None:
+                    stats[1] += 1
+                    results.append(res)
+                    continue
+                todo.append((_REDUCE, self._var[f], f))
+                todo.append((_EXPAND, self._hi[f]))
+                todo.append((_EXPAND, self._lo[f]))
+            else:
+                _, var, orig = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._cache_insert(("not", orig), res)
+                self._cache_insert(("not", res), orig)
+                results.append(res)
+        return results.pop()
 
     def and_(self, f: int, g: int) -> int:
-        """Conjunction, with a dedicated cache entry (hot path)."""
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if f == TRUE:
-            return g
-        if g == TRUE or f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        key = ("and", f, g)
+        """Conjunction, with a dedicated cache entry (hot path).
+
+        Explicit-stack iterative like :meth:`ite`.
+        """
         cache = self._cache
-        res = cache.get(key)
-        if res is not None:
-            return res
-        var = self.top_var(f, g)
-        f0, f1 = self._cofactors(f, var)
-        g0, g1 = self._cofactors(g, var)
-        res = self._mk(var, self.and_(f0, g0), self.and_(f1, g1))
-        cache[key] = res
-        return res
+        stats = self._op_stats["and"]
+        todo: List[Tuple] = [(_EXPAND, f, g)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == _EXPAND:
+                _, f, g = frame
+                if f == FALSE or g == FALSE:
+                    results.append(FALSE)
+                    continue
+                if f == TRUE:
+                    results.append(g)
+                    continue
+                if g == TRUE or f == g:
+                    results.append(f)
+                    continue
+                if f > g:
+                    f, g = g, f
+                key = ("and", f, g)
+                stats[0] += 1
+                res = cache.get(key)
+                if res is not None:
+                    stats[1] += 1
+                    results.append(res)
+                    continue
+                var = self.top_var(f, g)
+                f0, f1 = self._cofactors(f, var)
+                g0, g1 = self._cofactors(g, var)
+                todo.append((_REDUCE, var, key))
+                todo.append((_EXPAND, f1, g1))
+                todo.append((_EXPAND, f0, g0))
+            else:
+                _, var, key = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._cache_insert(key, res)
+                results.append(res)
+        return results.pop()
 
     def or_(self, f: int, g: int) -> int:
         """Disjunction."""
@@ -356,28 +498,58 @@ class BDD:
         return self._exist(cube, f)
 
     def _exist(self, cube: int, f: int) -> int:
-        if f in (FALSE, TRUE) or cube == TRUE:
-            return f
-        # Skip cube variables above f's top.
-        flevel = self._node_level(f)
-        while cube != TRUE and self._node_level(cube) < flevel:
-            cube = self._hi[cube]
-        if cube == TRUE:
-            return f
-        key = ("exist", cube, f)
         cache = self._cache
-        res = cache.get(key)
-        if res is not None:
-            return res
-        var = self._var[f]
-        lo, hi = self._lo[f], self._hi[f]
-        if self._var[cube] == var:
-            sub = self._hi[cube]
-            res = self.or_(self._exist(sub, lo), self._exist(sub, hi))
-        else:
-            res = self._mk(var, self._exist(cube, lo), self._exist(cube, hi))
-        cache[key] = res
-        return res
+        stats = self._op_stats["exist"]
+        todo: List[Tuple] = [(_EXPAND, cube, f)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            tag = frame[0]
+            if tag == _EXPAND:
+                _, cube, f = frame
+                if f in (FALSE, TRUE) or cube == TRUE:
+                    results.append(f)
+                    continue
+                # Skip cube variables above f's top.
+                flevel = self._node_level(f)
+                while cube != TRUE and self._node_level(cube) < flevel:
+                    cube = self._hi[cube]
+                if cube == TRUE:
+                    results.append(f)
+                    continue
+                key = ("exist", cube, f)
+                stats[0] += 1
+                res = cache.get(key)
+                if res is not None:
+                    stats[1] += 1
+                    results.append(res)
+                    continue
+                var = self._var[f]
+                lo, hi = self._lo[f], self._hi[f]
+                if self._var[cube] == var:
+                    sub = self._hi[cube]
+                    todo.append((_COMBINE_OR, key))
+                    todo.append((_EXPAND, sub, hi))
+                    todo.append((_EXPAND, sub, lo))
+                else:
+                    todo.append((_REDUCE, var, key))
+                    todo.append((_EXPAND, cube, hi))
+                    todo.append((_EXPAND, cube, lo))
+            elif tag == _REDUCE:
+                _, var, key = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._cache_insert(key, res)
+                results.append(res)
+            else:  # _COMBINE_OR
+                _, key = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self.or_(lo, hi)
+                self._cache_insert(key, res)
+                results.append(res)
+        return results.pop()
 
     def forall(self, variables, f: int) -> int:
         """Universally quantify ``variables`` out of ``f``."""
@@ -393,40 +565,75 @@ class BDD:
         return self._and_exists(f, g, cube)
 
     def _and_exists(self, f: int, g: int, cube: int) -> int:
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if cube == TRUE:
-            return self.and_(f, g)
-        if f == TRUE and g == TRUE:
-            return TRUE
-        if f > g:
-            f, g = g, f
-        top = min(self._node_level(f), self._node_level(g))
-        while cube != TRUE and self._node_level(cube) < top:
-            cube = self._hi[cube]
-        if cube == TRUE:
-            return self.and_(f, g)
-        key = ("andex", f, g, cube)
         cache = self._cache
-        res = cache.get(key)
-        if res is not None:
-            return res
-        var = self.top_var(f, g)
-        f0, f1 = self._cofactors(f, var)
-        g0, g1 = self._cofactors(g, var)
-        if self._var[cube] == var:
-            sub = self._hi[cube]
-            lo = self._and_exists(f0, g0, sub)
-            if lo == TRUE:
-                res = TRUE
-            else:
-                res = self.or_(lo, self._and_exists(f1, g1, sub))
-        else:
-            res = self._mk(
-                var, self._and_exists(f0, g0, cube), self._and_exists(f1, g1, cube)
-            )
-        cache[key] = res
-        return res
+        stats = self._op_stats["andex"]
+        todo: List[Tuple] = [(_EXPAND, f, g, cube)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            tag = frame[0]
+            if tag == _EXPAND:
+                _, f, g, cube = frame
+                if f == FALSE or g == FALSE:
+                    results.append(FALSE)
+                    continue
+                if cube == TRUE:
+                    results.append(self.and_(f, g))
+                    continue
+                if f == TRUE and g == TRUE:
+                    results.append(TRUE)
+                    continue
+                if f > g:
+                    f, g = g, f
+                top = min(self._node_level(f), self._node_level(g))
+                while cube != TRUE and self._node_level(cube) < top:
+                    cube = self._hi[cube]
+                if cube == TRUE:
+                    results.append(self.and_(f, g))
+                    continue
+                key = ("andex", f, g, cube)
+                stats[0] += 1
+                res = cache.get(key)
+                if res is not None:
+                    stats[1] += 1
+                    results.append(res)
+                    continue
+                var = self.top_var(f, g)
+                f0, f1 = self._cofactors(f, var)
+                g0, g1 = self._cofactors(g, var)
+                if self._var[cube] == var:
+                    sub = self._hi[cube]
+                    todo.append((_SHORT_CIRCUIT, f1, g1, sub, key))
+                    todo.append((_EXPAND, f0, g0, sub))
+                else:
+                    todo.append((_REDUCE, var, key))
+                    todo.append((_EXPAND, f1, g1, cube))
+                    todo.append((_EXPAND, f0, g0, cube))
+            elif tag == _REDUCE:
+                _, var, key = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._cache_insert(key, res)
+                results.append(res)
+            elif tag == _SHORT_CIRCUIT:
+                _, f1, g1, sub, key = frame
+                lo = results.pop()
+                if lo == TRUE:
+                    self._cache_insert(key, TRUE)
+                    results.append(TRUE)
+                else:
+                    results.append(lo)
+                    todo.append((_COMBINE_OR, key))
+                    todo.append((_EXPAND, f1, g1, sub))
+            else:  # _COMBINE_OR
+                _, key = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self.or_(lo, hi)
+                self._cache_insert(key, res)
+                results.append(res)
+        return results.pop()
 
     # ------------------------------------------------------------------
     # Substitution
@@ -451,15 +658,18 @@ class BDD:
         # during reconstruction (mk with out-of-order children would break
         # canonicity silently, so check support overlap here).
         key_map = tuple(sorted(mapping.items()))
+        self._ensure_depth()
         return self._rename(f, mapping, key_map)
 
     def _rename(self, f: int, mapping: Dict[int, int], key_map: Tuple) -> int:
         if f in (FALSE, TRUE):
             return f
         key = ("rename", f, key_map)
-        cache = self._cache
-        res = cache.get(key)
+        stats = self._op_stats["rename"]
+        stats[0] += 1
+        res = self._cache.get(key)
         if res is not None:
+            stats[1] += 1
             return res
         var = self._var[f]
         lo = self._rename(self._lo[f], mapping, key_map)
@@ -472,7 +682,7 @@ class BDD:
                     "rename would reorder variables; use compose instead"
                 )
         res = self._mk(nvar, lo, hi)
-        cache[key] = res
+        self._cache_insert(key, res)
         return res
 
     def compose(self, f: int, var, g: int) -> int:
@@ -490,15 +700,18 @@ class BDD:
         if not substitution:
             return f
         key_map = tuple(sorted(substitution.items()))
+        self._ensure_depth()
         return self._vcompose(f, substitution, key_map)
 
     def _vcompose(self, f: int, sub: Dict[int, int], key_map: Tuple) -> int:
         if f in (FALSE, TRUE):
             return f
         key = ("vcomp", f, key_map)
-        cache = self._cache
-        res = cache.get(key)
+        stats = self._op_stats["vcomp"]
+        stats[0] += 1
+        res = self._cache.get(key)
         if res is not None:
+            stats[1] += 1
             return res
         var = self._var[f]
         lo = self._vcompose(self._lo[f], sub, key_map)
@@ -507,7 +720,7 @@ class BDD:
         if g is None:
             g = self.var(var)
         res = self.ite(g, hi, lo)
-        cache[key] = res
+        self._cache_insert(key, res)
         return res
 
     # ------------------------------------------------------------------
@@ -519,15 +732,18 @@ class BDD:
         if not assignment:
             return f
         key_map = tuple(sorted(assignment.items()))
+        self._ensure_depth()
         return self._restrict(f, assignment, key_map)
 
     def _restrict(self, f: int, assignment: Dict[int, bool], key_map: Tuple) -> int:
         if f in (FALSE, TRUE):
             return f
         key = ("restr", f, key_map)
-        cache = self._cache
-        res = cache.get(key)
+        stats = self._op_stats["restr"]
+        stats[0] += 1
+        res = self._cache.get(key)
         if res is not None:
+            stats[1] += 1
             return res
         var = self._var[f]
         if var in assignment:
@@ -540,7 +756,7 @@ class BDD:
                 self._restrict(self._lo[f], assignment, key_map),
                 self._restrict(self._hi[f], assignment, key_map),
             )
-        cache[key] = res
+        self._cache_insert(key, res)
         return res
 
     def cofactor_cube(self, f: int, cube: int) -> int:
@@ -565,25 +781,31 @@ class BDD:
         """
         if c == FALSE:
             raise BddError("constrain by the empty care set is undefined")
+        self._ensure_depth()
+        return self._constrain(f, c)
+
+    def _constrain(self, f: int, c: int) -> int:
         if c == TRUE or f in (FALSE, TRUE):
             return f
         if f == c:
             return TRUE
         key = ("constrain", f, c)
-        cache = self._cache
-        res = cache.get(key)
+        stats = self._op_stats["constrain"]
+        stats[0] += 1
+        res = self._cache.get(key)
         if res is not None:
+            stats[1] += 1
             return res
         var = self.top_var(f, c)
         f0, f1 = self._cofactors(f, var)
         c0, c1 = self._cofactors(c, var)
         if c0 == FALSE:
-            res = self.constrain(f1, c1)
+            res = self._constrain(f1, c1)
         elif c1 == FALSE:
-            res = self.constrain(f0, c0)
+            res = self._constrain(f0, c0)
         else:
-            res = self._mk(var, self.constrain(f0, c0), self.constrain(f1, c1))
-        cache[key] = res
+            res = self._mk(var, self._constrain(f0, c0), self._constrain(f1, c1))
+        self._cache_insert(key, res)
         return res
 
     def restrict_dc(self, f: int, c: int) -> int:
@@ -597,28 +819,35 @@ class BDD:
         """
         if c == FALSE:
             raise BddError("restrict by the empty care set is undefined")
+        self._ensure_depth()
+        return self._restrict_dc(f, c)
+
+    def _restrict_dc(self, f: int, c: int) -> int:
         if c == TRUE or f in (FALSE, TRUE):
             return f
         key = ("restrdc", f, c)
-        cache = self._cache
-        res = cache.get(key)
+        stats = self._op_stats["restrdc"]
+        stats[0] += 1
+        res = self._cache.get(key)
         if res is not None:
+            stats[1] += 1
             return res
         lf, lc = self._node_level(f), self._node_level(c)
         if lc < lf:
-            cv = self._var[c]
-            res = self.restrict_dc(f, self.or_(self._lo[c], self._hi[c]))
+            res = self._restrict_dc(f, self.or_(self._lo[c], self._hi[c]))
         else:
             var = self._var[f]
             f0, f1 = self._lo[f], self._hi[f]
             c0, c1 = self._cofactors(c, var)
             if c0 == FALSE:
-                res = self.restrict_dc(f1, c1)
+                res = self._restrict_dc(f1, c1)
             elif c1 == FALSE:
-                res = self.restrict_dc(f0, c0)
+                res = self._restrict_dc(f0, c0)
             else:
-                res = self._mk(var, self.restrict_dc(f0, c0), self.restrict_dc(f1, c1))
-        cache[key] = res
+                res = self._mk(
+                    var, self._restrict_dc(f0, c0), self._restrict_dc(f1, c1)
+                )
+        self._cache_insert(key, res)
         return res
 
     # ------------------------------------------------------------------
@@ -644,18 +873,29 @@ class BDD:
         """Number of distinct nodes in the DAG(s) rooted at ``f``.
 
         ``f`` may be a single node or an iterable of nodes (shared size).
+        Only terminals actually reachable from the roots are counted, so
+        ``size(FALSE) == size(TRUE) == 1`` and a literal has size 3.
         """
         roots = [f] if isinstance(f, int) else list(f)
         seen = set()
+        terminals = set()
         stack = list(roots)
         while stack:
             n = stack.pop()
-            if n in (FALSE, TRUE) or n in seen:
+            if n in (FALSE, TRUE):
+                terminals.add(n)
+                continue
+            if n in seen:
                 continue
             seen.add(n)
             stack.append(self._lo[n])
             stack.append(self._hi[n])
-        return len(seen) + 2
+        return len(seen) + len(terminals)
+
+    def var_population(self, var) -> int:
+        """Number of live unique-table nodes labelled with ``var``."""
+        v = var if isinstance(var, int) else self.var_index(var)
+        return len(self._unique[v])
 
     def eval(self, f: int, assignment: Dict) -> bool:
         """Evaluate ``f`` under a total assignment (name or index keys)."""
@@ -678,6 +918,7 @@ class BDD:
         """
         import bisect
 
+        self._ensure_depth()
         if care_vars is None:
             care = list(range(self.var_count))
         else:
@@ -749,6 +990,7 @@ class BDD:
 
     def sat_iter(self, f: int, care_vars: Sequence) -> Iterator[Dict[int, bool]]:
         """Enumerate all total satisfying assignments over ``care_vars``."""
+        self._ensure_depth()
         care = [v if isinstance(v, int) else self.var_index(v) for v in care_vars]
         care_sorted = sorted(care, key=lambda v: self._level_of_var[v])
 
@@ -787,12 +1029,26 @@ class BDD:
         """Drop a previously registered root (missing names are ignored)."""
         self._roots.pop(name, None)
 
+    def register_root_group(self, prefix: str, nodes: Iterable[int]) -> None:
+        """Register a family of roots under ``prefix.<i>`` names.
+
+        Any previously registered roots with the same prefix are dropped
+        first, so re-registering a shrinking family does not leak stale
+        roots.
+        """
+        stale = [k for k in self._roots if k.startswith(prefix + ".")]
+        for k in stale:
+            del self._roots[k]
+        for i, node in enumerate(nodes):
+            self._roots[f"{prefix}.{i}"] = node
+
     def gc(self, extra_roots: Iterable[int] = ()) -> int:
         """Mark-and-sweep collection; returns the number of nodes freed.
 
         Keeps every node reachable from registered roots plus
         ``extra_roots``.  Node ids of live nodes are stable.  The computed
-        cache is cleared (it may reference dead nodes).
+        cache is cleared only when nodes were actually freed (a no-op
+        sweep cannot leave dangling cache entries).
         """
         marked = {FALSE, TRUE}
         stack = list(self._roots.values()) + list(extra_roots)
@@ -812,9 +1068,25 @@ class BDD:
             self._var[node] = -1
             self._free.append(node)
             freed += 1
-        self._cache.clear()
+        if freed:
+            self._cache.clear()
         self.gc_count += 1
+        self._gc_pending = False
+        self._nodes_since_gc = 0
         return freed
+
+    def maybe_gc(self, extra_roots: Iterable[int] = ()) -> int:
+        """Run a collection iff auto-GC has flagged one as due.
+
+        Engines call this at *safe points* — moments where every node
+        they hold is either a registered root or passed via
+        ``extra_roots`` — so intermediates held only in operator locals
+        are never swept.  Returns the number of nodes freed (0 when no
+        collection ran).
+        """
+        if not self._gc_pending:
+            return 0
+        return self.gc(extra_roots=extra_roots)
 
     def clear_cache(self) -> None:
         """Drop the computed cache (useful to bound memory in long runs)."""
@@ -823,6 +1095,27 @@ class BDD:
     def cache_size(self) -> int:
         """Number of entries in the computed cache."""
         return len(self._cache)
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-operator computed-cache statistics.
+
+        Returns ``{op: {"lookups": n, "hits": n, "hit_rate": r}}`` for
+        every cached operator (see :data:`CACHED_OPS`).
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for op, (lookups, hits) in self._op_stats.items():
+            out[op] = {
+                "lookups": lookups,
+                "hits": hits,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            }
+        return out
+
+    def cache_hit_rate(self) -> float:
+        """Overall computed-cache hit rate across all operators."""
+        lookups = sum(s[0] for s in self._op_stats.values())
+        hits = sum(s[1] for s in self._op_stats.values())
+        return (hits / lookups) if lookups else 0.0
 
     # ------------------------------------------------------------------
     # Export / debug
@@ -845,6 +1138,8 @@ class BDD:
             "live_nodes": len(self),
             "allocated_nodes": len(self._var),
             "cache_entries": len(self._cache),
+            "cache_evictions": self.cache_evictions,
+            "peak_live_nodes": self.peak_live_nodes,
             "variables": self.var_count,
             "gc_runs": self.gc_count,
         }

@@ -138,6 +138,9 @@ class MddManager:
         bit_vars = [self.bdd.add_var(f"{name}.{i}") for i in range(nbits)]
         var = MvVar(self.bdd, name, values, bit_vars)
         self._vars[name] = var
+        # Domain-constraint BDDs live as long as the variable; make them
+        # GC roots so auto-GC can never sweep them.
+        self.bdd.register_root(f"mdd.domain.{name}", var.domain_constraint)
         return var
 
     def declare_pair(
@@ -161,6 +164,8 @@ class MddManager:
         var_b = MvVar(self.bdd, name_b, values, bits_b)
         self._vars[name_a] = var_a
         self._vars[name_b] = var_b
+        self.bdd.register_root(f"mdd.domain.{name_a}", var_a.domain_constraint)
+        self.bdd.register_root(f"mdd.domain.{name_b}", var_b.domain_constraint)
         return var_a, var_b
 
     def __contains__(self, name: str) -> bool:

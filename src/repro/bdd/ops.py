@@ -7,7 +7,7 @@ need access to manager internals beyond its public API.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence
 
 from repro.bdd.manager import BDD, FALSE, TRUE
 
@@ -20,6 +20,7 @@ def transfer(f: int, src: BDD, dst: BDD, var_map: Dict[int, int]) -> int:
     Shannon expansion in destination order via ``ite``, so the result is
     canonical in ``dst``.  This is the basis of rebuild-based reordering.
     """
+    src._ensure_depth()
     memo: Dict[int, int] = {}
 
     def walk(node: int) -> int:

@@ -25,7 +25,7 @@ paper's designs, and honest about its cost.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 from repro.bdd.manager import BDD
 from repro.bdd.ops import transfer
@@ -155,6 +155,20 @@ def shared_size_under(
     return dst.size(list(new_roots.values()))
 
 
+def population_order(src: BDD) -> List[int]:
+    """Variables sorted by unique-table population, most populous first.
+
+    Ties break towards the variable closer to the top of the order, so
+    the result is deterministic.  This is the processing order Rudell
+    sifting prescribes: moving the fattest level first frees the most
+    nodes earliest.
+    """
+    return sorted(
+        range(src.var_count),
+        key=lambda v: (-src.var_population(v), src.level(v)),
+    )
+
+
 def sift(
     src: BDD,
     roots: Mapping[str, int],
@@ -173,7 +187,7 @@ def sift(
     nvars = len(order)
     for _ in range(max_rounds):
         improved = False
-        for var in list(order):
+        for var in population_order(src):
             pos = order.index(var)
             step = max(1, nvars // (candidates_per_var + 1))
             targets = {0, nvars - 1, max(0, pos - step), min(nvars - 1, pos + step)}

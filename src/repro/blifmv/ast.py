@@ -27,7 +27,7 @@ is an ordinary multi-valued logic function.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 BINARY_DOMAIN: Tuple[str, ...] = ("0", "1")
 

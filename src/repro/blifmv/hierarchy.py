@@ -11,11 +11,9 @@ and reset values are preserved verbatim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.blifmv.ast import (
-    ANY,
-    Any_,
     BlifMvError,
     Design,
     Eq,
@@ -23,7 +21,6 @@ from repro.blifmv.ast import (
     Model,
     PatternEntry,
     Row,
-    Subckt,
     Table,
 )
 

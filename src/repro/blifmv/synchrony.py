@@ -21,8 +21,8 @@ Latches absent from the tree update every tick (fully synchronous).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterator, List, Set, Tuple, Union
 
 
 class SynchronyError(Exception):

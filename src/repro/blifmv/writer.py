@@ -9,7 +9,6 @@ from __future__ import annotations
 from typing import List
 
 from repro.blifmv.ast import (
-    ANY,
     Any_,
     Design,
     Eq,

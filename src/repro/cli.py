@@ -21,9 +21,9 @@ REPL.  Every command is also usable programmatically through
 
 from __future__ import annotations
 
+import argparse
 import shlex
 import sys
-import time
 from typing import Callable, Dict, List, Optional
 
 from repro.blifmv import flatten, parse_file as parse_blifmv_file, write_file
@@ -43,7 +43,15 @@ class CliError(Exception):
 class HsisShell:
     """Stateful command interpreter; each command returns its output text."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        auto_gc: Optional[int] = None,
+        cache_limit: Optional[int] = None,
+        show_stats: bool = False,
+    ) -> None:
+        self.auto_gc = auto_gc
+        self.cache_limit = cache_limit
+        self.show_stats = show_stats
         self.design = None
         self.flat = None
         self.fsm: Optional[SymbolicFsm] = None
@@ -98,15 +106,19 @@ class HsisShell:
 
     # -- design loading ---------------------------------------------------
 
+    def _make_fsm(self, flat) -> SymbolicFsm:
+        return SymbolicFsm(
+            flat, auto_gc=self.auto_gc, cache_limit=self.cache_limit
+        )
+
     def _after_load(self) -> str:
         assert self.design is not None
-        start = time.perf_counter()
         self.flat = flatten(self.design)
-        self.fsm = SymbolicFsm(self.flat)
+        self.fsm = self._make_fsm(self.flat)
         self.reach = None
         self.simulator = None
         self.checker = None
-        elapsed = time.perf_counter() - start
+        elapsed = self.fsm.stats.phase_seconds("encode")
         return (
             f"loaded {self.design.root}: {len(self.flat.latches)} latches, "
             f"{len(self.flat.tables)} tables ({elapsed:.2f}s encode)"
@@ -160,9 +172,9 @@ class HsisShell:
         """build_tr [greedy|linear|monolithic] — build the product relation."""
         method = args[0] if args else "greedy"
         fsm = self._need_fsm()
-        start = time.perf_counter()
+        before = fsm.stats.phase_seconds("build_tr")
         trans = fsm.build_transition(method=method)
-        elapsed = time.perf_counter() - start
+        elapsed = fsm.stats.phase_seconds("build_tr") - before
         assert fsm.quantify_result is not None
         return (
             f"transition relation: {fsm.bdd.size(trans)} nodes "
@@ -192,6 +204,7 @@ class HsisShell:
         ]
         if self.reach is not None:
             lines.append(f"reached states: {fsm.count_states(self.reach.reached)}")
+        lines.append(fsm.stats.format())
         return "\n".join(lines)
 
     def _make_checker(self) -> ModelChecker:
@@ -234,7 +247,7 @@ class HsisShell:
         for name in names:
             automaton = self.pif.automaton(name)
             # Each LC run attaches a monitor, so it needs a fresh machine.
-            fsm = SymbolicFsm(self.flat)
+            fsm = self._make_fsm(self.flat)
             fairness = self.pif.bind_fairness(fsm)
             result = check_containment(fsm, automaton, system_fairness=fairness)
             verdict = "passed" if result.holds else "FAILED"
@@ -317,7 +330,7 @@ class HsisShell:
             raise CliError("no design loaded")
         reduced, report = cone_of_influence(self.flat, args)
         self.flat = reduced
-        self.fsm = SymbolicFsm(reduced)
+        self.fsm = self._make_fsm(reduced)
         self.reach = None
         self.checker = None
         self.simulator = None
@@ -338,7 +351,7 @@ class HsisShell:
             raise CliError("no design loaded")
         bound = DelayBound(int(args[1]), int(args[2]))
         self.flat = elaborate_delays(self.flat, {args[0]: bound})
-        self.fsm = SymbolicFsm(self.flat)
+        self.fsm = self._make_fsm(self.flat)
         self.reach = None
         self.checker = None
         self.simulator = None
@@ -446,17 +459,55 @@ class HsisShell:
         return "\n".join(lines)
 
 
+def _print_final_stats(shell: HsisShell) -> None:
+    if shell.show_stats and shell.fsm is not None:
+        print(shell.fsm.stats.format())
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``hsis`` console script."""
-    args = list(sys.argv[1:] if argv is None else argv)
-    shell = HsisShell()
-    if args:
-        with open(args[0]) as handle:
+    parser = argparse.ArgumentParser(
+        prog="hsis", description="HSIS reproduction shell"
+    )
+    parser.add_argument("script", nargs="?", help="command file to execute")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print engine statistics when the run finishes",
+    )
+    parser.add_argument(
+        "--auto-gc", type=_positive_int, default=None, metavar="N",
+        help="auto-collect dead BDD nodes every N allocations",
+    )
+    parser.add_argument(
+        "--cache-limit", type=_positive_int, default=None, metavar="N",
+        help="bound the BDD computed cache to N entries",
+    )
+    opts = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    shell = HsisShell(
+        auto_gc=opts.auto_gc,
+        cache_limit=opts.cache_limit,
+        show_stats=opts.stats,
+    )
+    if opts.script:
+        try:
+            handle = open(opts.script)
+        except OSError as exc:
+            print(f"error: cannot open script: {exc}", file=sys.stderr)
+            return 1
+        with handle:
             try:
                 print(shell.run_script(handle))
             except CliError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
+        _print_final_stats(shell)
         return 0
     print("HSIS reproduction shell — 'help' lists commands, ctrl-D exits")
     while True:
@@ -464,6 +515,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             line = input("hsis> ")
         except EOFError:
             print()
+            _print_final_stats(shell)
             return 0
         try:
             output = shell.execute(line)

@@ -24,9 +24,8 @@ paper's optimizations are implemented:
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.automata.fairness import FairnessSpec, NormalizedFairness
 from repro.ctl.ast import (
@@ -52,6 +51,7 @@ from repro.ctl.ast import (
 from repro.ctl.parser import parse_ctl
 from repro.lc.faircycle import FairGraph, all_fair_states
 from repro.network.quantify import Conjunct, multiply_and_quantify
+from repro.perf import EngineStats
 
 
 @dataclass
@@ -79,6 +79,7 @@ class ModelChecker:
     ):
         self.fsm = fsm
         self.bdd = fsm.bdd
+        self.stats: EngineStats = getattr(fsm, "stats", None) or EngineStats(fsm.bdd)
         self.graph = FairGraph(fsm)
         self.fairness = fairness if fairness is not None else FairnessSpec()
         self.normalized: NormalizedFairness = self.fairness.normalize(
@@ -89,6 +90,12 @@ class ModelChecker:
         self._reached = reached
         self._fair: Optional[int] = None
         self._cache: Dict[Formula, int] = {}
+        # Long-lived nodes become GC roots (auto-GC safe points may run
+        # inside the fixpoint loops below).
+        self.bdd.register_root("mc.space", self.space)
+        self.bdd.register_root_group("mc.fairness", self.normalized.nodes())
+        if reached is not None:
+            self.bdd.register_root("mc.reached", reached)
 
     # ------------------------------------------------------------------
     # Fairness
@@ -107,6 +114,7 @@ class ModelChecker:
                 self._fair = all_fair_states(self.graph, self.normalized, self.space)
             else:
                 self._fair = self.space
+            self.bdd.register_root("mc.fair", self._fair)
         return self._fair
 
     def reached(self) -> int:
@@ -138,6 +146,7 @@ class ModelChecker:
             return cached
         result = self._eval(formula)
         self._cache[formula] = result
+        self.bdd.register_root(f"mc.sat.{len(self._cache)}", result)
         return result
 
     def _eval(self, f: Formula) -> int:
@@ -237,6 +246,8 @@ class ModelChecker:
             if new == reach:
                 return reach
             reach = new
+            # Safe point: everything the fixpoint holds is passed along.
+            bdd.maybe_gc(extra_roots=[hold, target, reach])
 
     def eg(self, states: int) -> int:
         bdd = self.bdd
@@ -249,6 +260,7 @@ class ModelChecker:
             if nz == z:
                 return z
             z = nz
+            bdd.maybe_gc(extra_roots=[states, z])
 
     # ------------------------------------------------------------------
     # Checking against initial states
@@ -262,24 +274,27 @@ class ModelChecker:
         """
         if isinstance(formula, str):
             formula = parse_ctl(formula)
-        start = time.perf_counter()
-        if (
-            fast_invariant
-            and isinstance(formula, AG)
-            and is_propositional(formula.sub)
-        ):
-            return self._check_invariant(formula, start)
-        sat = self.eval(formula)
-        failing = self.bdd.diff(self.fsm.init, sat)
-        return CtlResult(
-            formula=formula,
-            holds=failing == self.bdd.false,
-            satisfying=sat,
-            failing_init=failing,
-            seconds=time.perf_counter() - start,
-        )
+        with self.stats.phase("mc") as timer:
+            if (
+                fast_invariant
+                and isinstance(formula, AG)
+                and is_propositional(formula.sub)
+            ):
+                result = self._check_invariant(formula)
+            else:
+                sat = self.eval(formula)
+                failing = self.bdd.diff(self.fsm.init, sat)
+                result = CtlResult(
+                    formula=formula,
+                    holds=failing == self.bdd.false,
+                    satisfying=sat,
+                    failing_init=failing,
+                    seconds=0.0,
+                )
+        result.seconds = timer.seconds
+        return result
 
-    def _check_invariant(self, formula: AG, start: float) -> CtlResult:
+    def _check_invariant(self, formula: AG) -> CtlResult:
         """Forward reachability with per-frontier property checks (§5.4)."""
         bdd = self.bdd
         good = self.eval(formula.sub)
@@ -294,6 +309,7 @@ class ModelChecker:
             result = self.fsm.reachable(observer=observer)
             reached = result.reached
             self._reached = reached
+            bdd.register_root("mc.reached", reached)
             violated = bdd.diff(bdd.and_(reached, self.space), good) != bdd.false
         except _EarlyFailure:
             violated = True
@@ -310,7 +326,7 @@ class ModelChecker:
             holds=not violated,
             satisfying=sat,
             failing_init=failing,
-            seconds=time.perf_counter() - start,
+            seconds=0.0,
             used_fast_path=True,
             counterexample_depth=bad_depth[0] if bad_depth else None,
         )

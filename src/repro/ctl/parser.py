@@ -22,7 +22,7 @@ dots and ``#`` (flattened instance paths and next-state suffixes).
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.ctl.ast import (
     AF,

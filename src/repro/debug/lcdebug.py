@@ -9,7 +9,6 @@ fair-edge requirements.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.debug.trace import (
     Trace,

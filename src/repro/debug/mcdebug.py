@@ -22,9 +22,8 @@ the HSIS-style interactive prompt on top of it lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-from repro.bdd.ops import minterm
 from repro.ctl.ast import (
     AF,
     AG,

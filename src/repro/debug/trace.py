@@ -12,9 +12,8 @@ minimization problem itself is NP-hard (paper §6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.bdd.ops import minterm
 from repro.lc.faircycle import FairGraph, FairScc
 
 

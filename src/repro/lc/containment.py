@@ -10,7 +10,6 @@ a counterexample; none means containment holds.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -59,6 +58,8 @@ def check_containment(
     quantify_method: str = "greedy",
     early_fail: bool = True,
     early_fail_interval: int = 4,
+    auto_gc: Optional[int] = None,
+    cache_limit: Optional[int] = None,
 ) -> LcResult:
     """Check that every fair behaviour of ``system`` is accepted by
     ``automaton``.
@@ -67,10 +68,31 @@ def check_containment(
     un-built :class:`SymbolicFsm` (so several monitors could share one
     machine).  With ``early_fail`` the doomed-region check of
     :mod:`repro.lc.earlyfail` runs every ``early_fail_interval``
-    reachability steps.
+    reachability steps.  ``auto_gc``/``cache_limit`` configure the kernel
+    when a fresh machine is encoded (ignored for a prebuilt ``fsm``).
     """
-    start = time.perf_counter()
-    fsm = system if isinstance(system, SymbolicFsm) else SymbolicFsm(system)
+    fsm = (
+        system
+        if isinstance(system, SymbolicFsm)
+        else SymbolicFsm(system, auto_gc=auto_gc, cache_limit=cache_limit)
+    )
+    with fsm.stats.phase("lc") as timer:
+        result = _check_containment(
+            fsm, automaton, system_fairness, quantify_method,
+            early_fail, early_fail_interval,
+        )
+    result.seconds = timer.seconds
+    return result
+
+
+def _check_containment(
+    fsm: SymbolicFsm,
+    automaton: Automaton,
+    system_fairness: Optional[FairnessSpec],
+    quantify_method: str,
+    early_fail: bool,
+    early_fail_interval: int,
+) -> LcResult:
     monitor = attach(fsm, automaton)
     fsm.build_transition(method=quantify_method)
     graph = FairGraph(fsm)
@@ -82,9 +104,11 @@ def check_containment(
     combined = FairnessSpec(list(spec) + list(property_streett)).normalize(
         bdd, bdd.true
     )
+    bdd.register_root_group("lc.fairness", combined.nodes())
 
     doomed = doomed_states(monitor.automaton)
     doomed_bdd = monitor.state_bdd(doomed) if doomed else bdd.false
+    bdd.register_root("lc.doomed", doomed_bdd)
     early_scc: Optional[FairScc] = None
     early_depth: Optional[int] = None
 
@@ -93,6 +117,7 @@ def check_containment(
 
     def observer(depth: int, frontier: int) -> None:
         reached_acc[0] = bdd.or_(reached_acc[0], frontier)
+        bdd.register_root("lc.reached", reached_acc[0])
         if not early_fail or doomed_bdd == bdd.false:
             return
         if bdd.and_(frontier, doomed_bdd) == bdd.false:
@@ -132,7 +157,7 @@ def check_containment(
             graph=graph,
             reach=reach,
             fairness=combined,
-            seconds=time.perf_counter() - start,
+            seconds=0.0,
             early_failure=True,
         )
 
@@ -146,7 +171,7 @@ def check_containment(
         graph=graph,
         reach=reach,
         fairness=combined,
-        seconds=time.perf_counter() - start,
+        seconds=0.0,
     )
 
 
@@ -163,5 +188,6 @@ def language_empty(
     graph = FairGraph(fsm)
     spec = fairness if fairness is not None else FairnessSpec()
     normalized = spec.normalize(bdd, bdd.true)
+    bdd.register_root_group("lc.fairness", normalized.nodes())
     reached = fsm.reachable().reached
     return find_fair_scc(graph, normalized, reached) is None

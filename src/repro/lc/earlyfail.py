@@ -24,7 +24,7 @@ of the truly doomed states.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Set, Tuple
+from typing import Optional, Set
 
 import networkx as nx
 

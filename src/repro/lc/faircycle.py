@@ -25,7 +25,7 @@ interpreted intersected with the transition relation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.automata.fairness import NormalizedFairness
 from repro.bdd.manager import BDD
@@ -48,6 +48,11 @@ class FairGraph:
         self._x_to_y = fsm.x_to_y()
         self._y_to_x = fsm.y_to_x()
         self.space: int = fsm.state_domain()
+        # The graph's fixed nodes must survive any auto-GC safe point.
+        self.bdd.register_root("graph.trans", self.trans)
+        self.bdd.register_root("graph.x_cube", self._x_cube)
+        self.bdd.register_root("graph.y_cube", self._y_cube)
+        self.bdd.register_root("graph.space", self.space)
 
     # -- primitive images ------------------------------------------------
 

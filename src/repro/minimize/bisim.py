@@ -20,9 +20,8 @@ Two distinct mechanisms are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.bdd.ops import minterm
 from repro.lc.faircycle import FairGraph
 from repro.network.fsm import SymbolicFsm
 

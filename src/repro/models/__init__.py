@@ -5,7 +5,6 @@ Each module exports ``verilog(**params)``, ``pif(**params)`` and
 ``TABLE1`` lists the names in the paper's row order.
 """
 
-from typing import Dict
 
 from repro.models import dcnew, gallery, gigamax, mdlc, philos, pingpong, scheduler
 from repro.models.base import DesignSpec, make_spec

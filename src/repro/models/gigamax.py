@@ -33,7 +33,7 @@ def verilog(n: int = 3) -> str:
         "module gigamax;",
         f"  enum {{ inv, shr, own }} reg {caches};",
         "  enum { n_op, rd, wr, rp } reg pend_op;",
-        f"  reg [1:0] pend_proc;",
+        "  reg [1:0] pend_proc;",
         "  enum { ph_idle, ph_serve } reg phase;",
         "  enum { clean, dirty } reg mem;",
         "",
@@ -73,9 +73,9 @@ def verilog(n: int = 3) -> str:
             "      else if (pend_op == rp)",
             f"        cache{i} <= inv;",
             f"      else cache{i} <= cache{i};",
-            f"    end else if (phase == ph_serve && pend_op == wr) begin",
+            "    end else if (phase == ph_serve && pend_op == wr) begin",
             f"      cache{i} <= inv;  // invalidate on another writer",
-            f"    end else if (phase == ph_serve && pend_op == rd) begin",
+            "    end else if (phase == ph_serve && pend_op == rd) begin",
             f"      cache{i} <= (cache{i} == own) ? shr : cache{i};  // snoop",
             "    end",
             f"    else cache{i} <= cache{i};",

@@ -21,10 +21,10 @@ Two sound automatic abstractions on flat BLIF-MV models:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
 
-from repro.blifmv.ast import ANY, BlifMvError, Latch, Model, Row, Table
+from repro.blifmv.ast import BlifMvError, Model, Row, Table
 
 
 @dataclass

@@ -15,13 +15,13 @@ present/next bits are interleaved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bdd.manager import BDD
 from repro.bdd.mdd import MddManager, MvVar
 from repro.bdd.ordering import affinity_order
-from repro.blifmv.ast import ANY, Any_, BlifMvError, Eq, Model, Table, ValueSet
+from repro.blifmv.ast import Any_, BlifMvError, Eq, Model, Table, ValueSet
 from repro.network.quantify import Conjunct
 
 NEXT_SUFFIX = "#n"
@@ -78,12 +78,18 @@ def variable_order(model: Model) -> List[str]:
     return affinity_order(groups, model.declared_variables())
 
 
-def encode(model: Model, order_method: str = "affinity") -> EncodedNetwork:
+def encode(
+    model: Model,
+    order_method: str = "affinity",
+    auto_gc: Optional[int] = None,
+    cache_limit: Optional[int] = None,
+) -> EncodedNetwork:
     """Encode a flat model (no subcircuits) into an :class:`EncodedNetwork`.
 
     ``order_method`` is ``"affinity"`` (interacting-FSM heuristic) or
     ``"declared"`` (first-use order; the naive baseline for the ordering
-    ablation).
+    ablation).  ``auto_gc`` and ``cache_limit`` configure the kernel's
+    self-management knobs (see :class:`repro.bdd.manager.BDD`).
     """
     if model.subckts:
         raise BlifMvError("encode() needs a flat model; call flatten() first")
@@ -95,7 +101,7 @@ def encode(model: Model, order_method: str = "affinity") -> EncodedNetwork:
     else:
         raise ValueError(f"unknown order_method {order_method!r}")
 
-    mdd = MddManager()
+    mdd = MddManager(BDD(auto_gc=auto_gc, cache_limit=cache_limit))
     latch_of_output = {l.output: l for l in model.latches}
     variables: Dict[str, MvVar] = {}
     latch_vars: Dict[str, LatchVars] = {}

@@ -20,8 +20,7 @@ machine (paper §5.2's language-containment product).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.bdd.manager import BDD, BddError
@@ -29,6 +28,7 @@ from repro.bdd.mdd import MddManager, MvVar
 from repro.blifmv.ast import Model
 from repro.network.encode import NEXT_SUFFIX, EncodedNetwork, LatchVars, encode
 from repro.network.quantify import Conjunct, QuantifyResult, multiply_and_quantify
+from repro.perf import EngineStats
 
 GC_NODE_THRESHOLD = 2_000_000
 
@@ -47,16 +47,39 @@ class ReachResult:
 class SymbolicFsm:
     """The product machine of a flat BLIF-MV model (plus attached monitors)."""
 
-    def __init__(self, model: Model, order_method: str = "affinity"):
-        self.network: EncodedNetwork = encode(model, order_method=order_method)
+    def __init__(
+        self,
+        model: Model,
+        order_method: str = "affinity",
+        auto_gc: Optional[int] = None,
+        cache_limit: Optional[int] = None,
+    ):
+        self.stats = EngineStats()
+        with self.stats.phase("encode"):
+            self.network: EncodedNetwork = encode(
+                model,
+                order_method=order_method,
+                auto_gc=auto_gc,
+                cache_limit=cache_limit,
+            )
         self.mdd: MddManager = self.network.mdd
         self.bdd: BDD = self.mdd.bdd
+        self.stats.bdd = self.bdd
         self.latches: List[LatchVars] = list(self.network.latches)
         self.conjuncts: List[Conjunct] = list(self.network.conjuncts)
         self.init: int = self.network.init
         self.trans: Optional[int] = None
         self.quantify_result: Optional[QuantifyResult] = None
         self._frozen = False
+        # Everything the FSM holds long-term must be a GC root so auto-GC
+        # at engine safe points can never sweep it.
+        self.bdd.register_root("fsm.init", self.init)
+        self._register_conjunct_roots()
+
+    def _register_conjunct_roots(self) -> None:
+        self.bdd.register_root_group(
+            "fsm.conjunct", (c.node for c in self.conjuncts)
+        )
 
     # ------------------------------------------------------------------
     # Variable bookkeeping
@@ -119,6 +142,7 @@ class SymbolicFsm:
                       reset=tuple(initial))
         )
         self.init = self.bdd.and_(self.init, x.literal(list(initial)))
+        self.bdd.register_root("fsm.init", self.init)
         return x, y
 
     def add_conjunct(self, node: int, label: str) -> None:
@@ -128,6 +152,7 @@ class SymbolicFsm:
         self.conjuncts.append(
             Conjunct(node=node, support=frozenset(self.bdd.support(node)), label=label)
         )
+        self._register_conjunct_roots()
 
     # ------------------------------------------------------------------
     # Transition relation
@@ -147,9 +172,10 @@ class SymbolicFsm:
         chosen early-quantification schedule.  Idempotent: rebuilding
         with a different method replaces the stored relation.
         """
-        result = multiply_and_quantify(
-            self.bdd, self.conjuncts, self.nonstate_bits(), method=method
-        )
+        with self.stats.phase("build_tr"):
+            result = multiply_and_quantify(
+                self.bdd, self.conjuncts, self.nonstate_bits(), method=method
+            )
         self.trans = result.node
         self.quantify_result = result
         self._frozen = True
@@ -222,39 +248,47 @@ class SymbolicFsm:
         bdd = self.bdd
         if not partitioned:
             self.require_transition()
-        start = time.perf_counter()
-        current = self.init if init is None else init
-        reached = current
-        rings = [current]
-        iterations = 0
-        converged = False
-        frontier = current
-        while frontier != bdd.false:
-            if max_iterations is not None and iterations >= max_iterations:
-                break
-            if observer is not None:
-                observer(iterations, frontier)
-            step = (
-                self.image_partitioned(frontier)
-                if partitioned
-                else self.image(frontier)
-            )
-            frontier = bdd.diff(step, reached)
-            iterations += 1
-            if frontier == bdd.false:
-                converged = True
-                break
-            reached = bdd.or_(reached, frontier)
-            rings.append(frontier)
-            if len(bdd) > GC_NODE_THRESHOLD:
+        with self.stats.phase("reach") as timer:
+            current = self.init if init is None else init
+            reached = current
+            rings = [current]
+            iterations = 0
+            converged = False
+            frontier = current
+            while frontier != bdd.false:
+                if max_iterations is not None and iterations >= max_iterations:
+                    break
+                if observer is not None:
+                    observer(iterations, frontier)
+                step = (
+                    self.image_partitioned(frontier)
+                    if partitioned
+                    else self.image(frontier)
+                )
+                frontier = bdd.diff(step, reached)
+                iterations += 1
+                if frontier == bdd.false:
+                    converged = True
+                    break
+                reached = bdd.or_(reached, frontier)
+                rings.append(frontier)
                 bdd.register_root("fsm.reached", reached)
-                bdd.gc(extra_roots=rings + [frontier, current])
+                # Safe point: every live node the loop holds is either a
+                # registered root or in extra_roots below.
+                if len(bdd) > GC_NODE_THRESHOLD:
+                    bdd.gc(extra_roots=rings + [frontier, current])
+                else:
+                    freed = bdd.maybe_gc(
+                        extra_roots=rings + [frontier, current]
+                    )
+                    if freed:
+                        self.stats.bump("auto_gc_freed", freed)
         return ReachResult(
             reached=reached,
             rings=rings,
             iterations=iterations,
             converged=converged,
-            seconds=time.perf_counter() - start,
+            seconds=timer.seconds,
         )
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ with all requested variables quantified out).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.bdd.manager import BDD
 
@@ -85,7 +85,7 @@ def multiply_and_quantify(
         for i, c in enumerate(conjuncts)
     ]
     if not pool:
-        return QuantifyResult(node=bdd.true, peak_size=2)
+        return QuantifyResult(node=bdd.true, peak_size=1)
     if method == "monolithic":
         return _monolithic(bdd, pool, quantify)
     if method == "linear":
@@ -93,8 +93,13 @@ def multiply_and_quantify(
     return _greedy(bdd, pool, quantify)
 
 
+def _safe_point(bdd: BDD, pool: Iterable[Conjunct], *extra: int) -> None:
+    """Run a pending auto-GC keeping the scheduler's working set alive."""
+    bdd.maybe_gc(extra_roots=[c.node for c in pool] + list(extra))
+
+
 def _monolithic(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResult:
-    result = QuantifyResult(node=bdd.true, peak_size=2)
+    result = QuantifyResult(node=bdd.true, peak_size=1)
     product = bdd.true
     for c in pool:
         product = bdd.and_(product, c.node)
@@ -102,6 +107,7 @@ def _monolithic(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyR
         result.steps.append(
             ScheduleStep(combined=(c.label,), quantified=(), result_size=bdd.size(product))
         )
+        _safe_point(bdd, pool, product)
     present = quantify & set(bdd.support(product))
     product = bdd.exist(sorted(present), product)
     result.peak_size = max(result.peak_size, bdd.size(product))
@@ -122,7 +128,7 @@ def _quantifiable_now(
 
 
 def _linear(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResult:
-    result = QuantifyResult(node=bdd.true, peak_size=2)
+    result = QuantifyResult(node=bdd.true, peak_size=1)
     product = bdd.true
     product_support: Set[int] = set()
     for idx, c in enumerate(pool):
@@ -142,12 +148,13 @@ def _linear(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResul
             ScheduleStep(combined=(c.label,), quantified=tuple(sorted(dying)),
                          result_size=size)
         )
+        _safe_point(bdd, remaining, product)
     result.node = product
     return result
 
 
 def _greedy(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResult:
-    result = QuantifyResult(node=bdd.true, peak_size=2)
+    result = QuantifyResult(node=bdd.true, peak_size=1)
     live: List[Conjunct] = list(pool)
     pending = {
         v for v in quantify if any(v in c.support for c in live)
@@ -198,12 +205,14 @@ def _greedy(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResul
         live = rest + [merged]
         pending -= local
         pending = {v for v in pending if any(v in c.support for c in live)}
+        _safe_point(bdd, live)
     # Conjoin whatever is left (no quantifiable variables remain).
     live.sort(key=lambda c: len(c.support))
     product = bdd.true
     for c in live:
         product = bdd.and_(product, c.node)
         result.peak_size = max(result.peak_size, bdd.size(product))
+    _safe_point(bdd, live, product)
     if live:
         result.steps.append(
             ScheduleStep(

@@ -1,0 +1,124 @@
+"""Unified engine telemetry.
+
+:class:`EngineStats` is the single aggregation point for everything the
+verification engines want to report: per-phase wall time (encode, build
+of the transition relation, reachability, model checking, language
+containment), named event counters, and — when attached to a
+:class:`~repro.bdd.manager.BDD` — the kernel's own numbers (live/peak
+nodes, GC runs, computed-cache hit rates per operator).
+
+Engines create one ``EngineStats`` per :class:`SymbolicFsm` and share it
+down the stack, replacing the scattered ``time.perf_counter()`` calls
+that used to live in ``network/fsm.py``, ``ctl/modelcheck.py``,
+``lc/containment.py`` and ``cli.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bdd.manager import BDD
+
+
+@dataclass
+class PhaseTimer:
+    """Handle yielded by :meth:`EngineStats.phase`.
+
+    ``seconds`` is filled in when the ``with`` block exits, so callers
+    can read the elapsed time of the phase they just ran.
+    """
+
+    name: str
+    seconds: float = 0.0
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall time and invocation count for one phase."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+
+@dataclass
+class EngineStats:
+    """Aggregator for engine-level and kernel-level statistics."""
+
+    bdd: Optional["BDD"] = None
+    phases: Dict[str, PhaseStat] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseTimer]:
+        """Time a named phase; accumulates across repeated invocations."""
+        timer = PhaseTimer(name)
+        start = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.seconds = time.perf_counter() - start
+            stat = self.phases.setdefault(name, PhaseStat())
+            stat.seconds += timer.seconds
+            stat.calls += 1
+
+    def phase_seconds(self, name: str) -> float:
+        """Total accumulated wall time for ``name`` (0.0 if never run)."""
+        stat = self.phases.get(name)
+        return stat.seconds if stat else 0.0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named event counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat dictionary of everything known right now."""
+        out: Dict[str, object] = {}
+        if self.bdd is not None:
+            out.update(self.bdd.stats())
+            out["cache_hit_rate"] = round(self.bdd.cache_hit_rate(), 4)
+            out["op_cache"] = self.bdd.cache_stats()
+        out["phases"] = {
+            name: {"seconds": round(stat.seconds, 6), "calls": stat.calls}
+            for name, stat in self.phases.items()
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        return out
+
+    def format(self) -> str:
+        """Human-readable multi-line report (used by ``--stats``)."""
+        lines = ["engine statistics:"]
+        if self.bdd is not None:
+            s = self.bdd.stats()
+            lines.append(
+                f"  nodes: {s['live_nodes']} live / "
+                f"{s['peak_live_nodes']} peak / {s['allocated_nodes']} allocated"
+            )
+            lines.append(
+                f"  gc runs: {s['gc_runs']}   cache: {s['cache_entries']} entries, "
+                f"{s['cache_evictions']} evictions, "
+                f"{self.bdd.cache_hit_rate():.1%} hit rate"
+            )
+            ops = [
+                (op, d) for op, d in self.bdd.cache_stats().items() if d["lookups"]
+            ]
+            if ops:
+                parts = ", ".join(
+                    f"{op} {d['hit_rate']:.0%} of {int(d['lookups'])}"
+                    for op, d in sorted(
+                        ops, key=lambda kv: kv[1]["lookups"], reverse=True
+                    )
+                )
+                lines.append(f"  op hit rates: {parts}")
+        if self.phases:
+            for name, stat in self.phases.items():
+                lines.append(
+                    f"  phase {name}: {stat.seconds:.3f}s over {stat.calls} call(s)"
+                )
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"  {name}: {value}")
+        return "\n".join(lines)

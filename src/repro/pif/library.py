@@ -16,10 +16,10 @@ Atoms are ``(net, value)`` pairs; ``net`` alone means ``(net, "1")``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.automata.automaton import Automaton, GAnd, GNot, Guard, atom as gatom
-from repro.ctl.ast import AF, AG, AU, AX, And, Atom, EF, Formula, Implies, Not
+from repro.ctl.ast import AF, AG, AX, And, Atom, EF, Formula, Implies, Not
 
 NetSpec = Union[str, Tuple[str, str]]
 

@@ -28,7 +28,7 @@ licenses transferring all proved ∀-properties down the hierarchy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set
 
 from repro.blifmv.ast import BlifMvError, Model
 from repro.network.fsm import SymbolicFsm

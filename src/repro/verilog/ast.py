@@ -9,7 +9,7 @@ types (``enum { idle, busy } state;``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 
 # -- expressions ---------------------------------------------------------

@@ -27,8 +27,8 @@ Lowering rules:
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.blifmv.ast import (
     ANY,
@@ -46,7 +46,6 @@ from repro.verilog.ast import (
     Assignment,
     Binop,
     Block,
-    CaseItem,
     CaseStmt,
     ContAssign,
     EnumConst,

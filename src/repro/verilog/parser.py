@@ -13,7 +13,6 @@ from repro.verilog.ast import (
     CaseItem,
     CaseStmt,
     ContAssign,
-    EnumConst,
     Expr,
     Id,
     IfStmt,

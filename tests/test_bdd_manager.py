@@ -286,3 +286,128 @@ class TestGarbageCollection:
         stats = bdd.stats()
         assert {"live_nodes", "allocated_nodes", "cache_entries",
                 "variables", "gc_runs"} <= set(stats)
+
+
+class TestSizeSemantics:
+    def test_size_constants(self, bdd):
+        assert bdd.size(bdd.false) == 1
+        assert bdd.size(bdd.true) == 1
+
+    def test_size_literal(self, bdd):
+        assert bdd.size(bdd.var("a")) == 3  # one internal + both terminals
+
+    def test_size_cube_reaches_both_terminals(self, bdd):
+        cube = bdd.cube(["a", "b", "c"])
+        assert bdd.size(cube) == 5
+
+    def test_shared_size_of_constants(self, bdd):
+        assert bdd.size([bdd.true, bdd.false]) == 2
+
+    def test_var_population(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert bdd.var_population("a") == 2  # literal a and the conjunction
+        assert bdd.var_population("b") == 1
+        assert bdd.var_population("c") == 0
+        del f
+
+
+class TestSelfManagement:
+    def test_knob_validation(self):
+        with pytest.raises(BddError):
+            BDD(auto_gc=0)
+        with pytest.raises(BddError):
+            BDD(cache_limit=-1)
+
+    def test_gc_skips_cache_clear_when_nothing_freed(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        bdd.register_root("f", f)
+        bdd.gc()  # collect any garbage from fixture setup
+        a_idx = bdd.var_index("a")
+        # Creates cache entries but no new nodes.
+        bdd.restrict(f, {a_idx: True})
+        cached = bdd.cache_size()
+        assert cached > 0
+        assert bdd.gc() == 0
+        assert bdd.cache_size() == cached  # cache survived the no-op sweep
+
+    def test_cache_limit_evicts(self):
+        manager = BDD(cache_limit=4)
+        for name in ("a", "b", "c", "d", "e", "f"):
+            manager.add_var(name)
+        f = manager.true
+        for name in ("a", "b", "c", "d", "e", "f"):
+            f = manager.and_(f, manager.var(name))
+        assert manager.cache_evictions > 0
+        assert manager.cache_size() <= 4
+        env = {n: 1 for n in ("a", "b", "c", "d", "e", "f")}
+        assert manager.eval(f, env) is True
+
+    def test_cache_limit_preserves_correctness(self):
+        def build(cache_limit):
+            manager = BDD(cache_limit=cache_limit)
+            vs = [manager.add_var(f"v{i}") for i in range(8)]
+            f = manager.false
+            for i in range(0, 8, 2):
+                f = manager.or_(
+                    f, manager.and_(manager.var(vs[i]), manager.var(vs[i + 1]))
+                )
+            return manager, f
+
+        unlimited_mgr, unlimited = build(None)
+        tiny_mgr, tiny = build(2)
+        assert tiny_mgr.cache_evictions > 0
+        care = [f"v{i}" for i in range(8)]
+        assert (tiny_mgr.sat_count(tiny, care)
+                == unlimited_mgr.sat_count(unlimited, care))
+
+    def test_auto_gc_flags_and_maybe_gc_collects(self):
+        manager = BDD(auto_gc=5)
+        for name in ("a", "b", "c", "d"):
+            manager.add_var(name)
+        keep = manager.xor(manager.var("a"), manager.var("b"))
+        manager.register_root("keep", keep)
+        # Churn out garbage until the trigger fires.
+        for _ in range(4):
+            manager.conj([manager.var("a"), manager.var("c"), manager.var("d")])
+        assert manager._gc_pending
+        freed = manager.maybe_gc()
+        assert freed > 0
+        assert manager.gc_count == 1
+        assert not manager._gc_pending
+        assert manager.eval(keep, {"a": 1, "b": 0, "c": 0, "d": 0}) is True
+
+    def test_maybe_gc_noop_without_flag(self, bdd):
+        bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert bdd.maybe_gc() == 0
+        assert bdd.gc_count == 0
+
+    def test_auto_gc_disabled_by_default(self, bdd):
+        for _ in range(50):
+            bdd.conj([bdd.var("a"), bdd.var("c"), bdd.var("d")])
+        assert not bdd._gc_pending
+
+    def test_register_root_group_replaces_prefix(self, bdd):
+        f, g = bdd.var("a"), bdd.var("b")
+        bdd.register_root_group("grp", [f, g])
+        assert bdd._roots["grp.0"] == f
+        assert bdd._roots["grp.1"] == g
+        bdd.register_root_group("grp", [g])
+        assert bdd._roots["grp.0"] == g
+        assert "grp.1" not in bdd._roots
+
+    def test_cache_stats_counts_hits(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        bdd.and_(a, b)
+        bdd.clear_cache()
+        f = bdd.and_(a, b)
+        assert bdd.and_(a, b) == f  # pure cache hit
+        stats = bdd.cache_stats()["and"]
+        assert stats["lookups"] >= 2
+        assert stats["hits"] >= 1
+        assert 0.0 < stats["hit_rate"] <= 1.0
+        assert 0.0 < bdd.cache_hit_rate() <= 1.0
+
+    def test_stats_has_telemetry_keys(self, bdd):
+        stats = bdd.stats()
+        assert {"cache_evictions", "peak_live_nodes"} <= set(stats)
+        assert stats["peak_live_nodes"] >= 2

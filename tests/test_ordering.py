@@ -6,6 +6,7 @@ from repro.bdd import BDD
 from repro.bdd.ordering import (
     affinity_order,
     interacting_fsm_order,
+    population_order,
     reorder,
     shared_size_under,
     sift,
@@ -134,3 +135,25 @@ class TestSift:
         g = roots["f"]
         assert new.eval(g, {"a": 1, "b": 1, "c": 0, "d": 0}) is True
         assert new.eval(g, {"a": 0, "b": 1, "c": 0, "d": 0}) is False
+
+
+class TestPopulationOrder:
+    def test_most_populous_first(self):
+        bdd = BDD()
+        a = bdd.add_var("a")
+        b = bdd.add_var("b")
+        c = bdd.add_var("c")
+        # a labels two nodes (literal + conjunction root), b one, c none.
+        bdd.and_(bdd.var(a), bdd.var(b))
+        order = population_order(bdd)
+        assert order[0] == a
+        assert order[1] == b
+        assert order[2] == c
+        assert bdd.var_population(a) > bdd.var_population(b) > bdd.var_population(c)
+
+    def test_ties_break_by_level(self):
+        bdd = BDD()
+        names = [bdd.add_var(n) for n in ("p", "q", "r")]
+        # No nodes at all: every population is 0, so the order falls back
+        # to top-to-bottom levels.
+        assert population_order(bdd) == list(bdd.order)

@@ -1,0 +1,31 @@
+"""Throughput of the differential fuzz harness.
+
+Measures how many cross-check trials per second the oracle sustains —
+the number that decides how long a CI sweep can afford to be — and
+breaks one sweep down into its phases (generation, explicit oracle,
+symbolic reachability, CTL, containment, kernel-op round).
+"""
+
+from repro.oracle import run_sweep
+from repro.perf import EngineStats
+
+TRIALS = 40
+
+
+def test_fuzz_sweep_throughput(benchmark, results_collector):
+    def run():
+        stats = EngineStats()
+        sweep = run_sweep(TRIALS, seed0=0, stats=stats)
+        return sweep, stats
+
+    sweep, stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sweep.ok, sweep.summary()
+    mean = benchmark.stats["mean"]
+    row = {
+        "seconds": mean,
+        "trials_per_s": round(TRIALS / mean, 1),
+    }
+    for phase in ("fuzz.gen", "fuzz.bddops", "fuzz.oracle",
+                  "fuzz.reach", "fuzz.mc", "fuzz.lc"):
+        row[phase.split(".")[1]] = round(stats.phase_seconds(phase), 3)
+    results_collector("fuzz_harness", f"sweep/{TRIALS}", row)

@@ -79,6 +79,7 @@ class HsisShell:
             "bisim": self.cmd_bisim,
             "refine": self.cmd_refine,
             "write_dot": self.cmd_write_dot,
+            "fuzz": self.cmd_fuzz,
             "help": self.cmd_help,
         }
         self.input_fn = input  # overridable for scripted interaction
@@ -450,6 +451,20 @@ class HsisShell:
             + sim.trace.format()
         )
 
+    def cmd_fuzz(self, args: List[str]) -> str:
+        """fuzz [trials] [seed] — differential sweep vs the explicit oracle."""
+        from repro.oracle import run_sweep
+
+        if len(args) > 2:
+            raise CliError("usage: fuzz [trials] [seed]")
+        try:
+            trials = int(args[0]) if args else 25
+            seed0 = int(args[1]) if len(args) > 1 else 0
+        except ValueError as exc:
+            raise CliError(f"fuzz: bad number: {exc}")
+        sweep = run_sweep(trials, seed0=seed0)
+        return sweep.summary()
+
     def cmd_help(self, args: List[str]) -> str:
         """help — list commands."""
         lines = []
@@ -471,8 +486,66 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _fuzz_main(argv: List[str]) -> int:
+    """``hsis fuzz`` — run the differential fuzz sweep from the shell."""
+    from repro.oracle import run_sweep
+    from repro.perf import EngineStats
+
+    parser = argparse.ArgumentParser(
+        prog="hsis fuzz",
+        description=(
+            "Cross-check the symbolic engines against the explicit-state "
+            "oracle on randomly generated designs; any divergence is "
+            "shrunk and recorded as a corpus repro."
+        ),
+    )
+    parser.add_argument(
+        "--trials", type=_positive_int, default=100, metavar="N",
+        help="number of seeded trials to run (default 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="first seed; trial i uses seed S+i (default 0)",
+    )
+    parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write shrunk repros of any divergence into DIR",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="record failing cases without minimizing them first",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print aggregate engine statistics after the sweep",
+    )
+    opts = parser.parse_args(argv)
+    stats = EngineStats()
+
+    def progress(report) -> None:
+        if not report.ok:
+            for div in report.divergences:
+                print(div, file=sys.stderr)
+
+    sweep = run_sweep(
+        opts.trials,
+        seed0=opts.seed,
+        stats=stats,
+        corpus_dir=opts.corpus,
+        shrink=not opts.no_shrink,
+        progress=progress,
+    )
+    print(sweep.summary())
+    if opts.stats:
+        print(stats.format())
+    return 0 if sweep.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``hsis`` console script."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hsis", description="HSIS reproduction shell"
     )
@@ -489,7 +562,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache-limit", type=_positive_int, default=None, metavar="N",
         help="bound the BDD computed cache to N entries",
     )
-    opts = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    opts = parser.parse_args(argv)
     shell = HsisShell(
         auto_gc=opts.auto_gc,
         cache_limit=opts.cache_limit,

@@ -271,12 +271,16 @@ class ModelChecker:
 
         ``AG <propositional>`` uses the forward-reachability fast path
         with early failure detection unless ``fast_invariant=False``.
+        The fast path only applies under trivial fairness: forward
+        reachability implements the plain semantics, and under fair
+        semantics a reachable violation on no fair path is no violation.
         """
         if isinstance(formula, str):
             formula = parse_ctl(formula)
         with self.stats.phase("mc") as timer:
             if (
                 fast_invariant
+                and not self.has_fairness
                 and isinstance(formula, AG)
                 and is_propositional(formula.sub)
             ):

@@ -1,0 +1,66 @@
+"""Explicit-state reference oracle for the symbolic verification stack.
+
+HSIS's answers all flow through one BDD kernel, so a single subtle
+kernel bug silently corrupts every verdict the tool gives.  This package
+is the antidote: a slow-but-obviously-correct *explicit-state* engine
+that recomputes the same answers by direct enumeration (capped at small
+state spaces), plus seeded random generators and a differential harness
+that cross-checks the whole symbolic stack end-to-end:
+
+* :mod:`repro.oracle.explicit` — explicit Kripke structure built by
+  enumerating table resolutions of a flat BLIF-MV model,
+* :mod:`repro.oracle.graphs` — Tarjan SCCs and Emerson-Lei/Streett fair
+  cycle detection on explicit graphs,
+* :mod:`repro.oracle.ctl` — explicit fair-CTL labeling,
+* :mod:`repro.oracle.containment` — product-automaton language
+  containment by direct enumeration,
+* :mod:`repro.oracle.truthtable` — a bitmask truth-table model of every
+  BDD operator,
+* :mod:`repro.oracle.fuzz` — seeded generators (models, CTL formulas,
+  fairness constraints, property automata) with greedy shrinking,
+* :mod:`repro.oracle.diff` — the differential harness behind the
+  ``hsis fuzz`` command and ``tests/test_differential.py``.
+"""
+
+from repro.oracle.explicit import ExplicitKripke, OracleCapExceeded
+from repro.oracle.graphs import ExplicitFairness, fair_path_states, sccs
+from repro.oracle.ctl import ExplicitModelChecker
+from repro.oracle.containment import (
+    ExplicitLcResult,
+    check_containment_explicit,
+    validate_lc_trace,
+)
+from repro.oracle.truthtable import TruthTable
+from repro.oracle.diff import (
+    Divergence,
+    SweepReport,
+    TrialReport,
+    decode_states,
+    replay_corpus_dir,
+    replay_corpus_entry,
+    run_sweep,
+    run_trial,
+    state_bits,
+)
+
+__all__ = [
+    "ExplicitKripke",
+    "OracleCapExceeded",
+    "ExplicitFairness",
+    "fair_path_states",
+    "sccs",
+    "ExplicitModelChecker",
+    "ExplicitLcResult",
+    "check_containment_explicit",
+    "validate_lc_trace",
+    "TruthTable",
+    "Divergence",
+    "SweepReport",
+    "TrialReport",
+    "decode_states",
+    "replay_corpus_dir",
+    "replay_corpus_entry",
+    "run_sweep",
+    "run_trial",
+    "state_bits",
+]

@@ -1,0 +1,271 @@
+"""Explicit product-automaton language containment, by direct enumeration.
+
+Mirrors :func:`repro.lc.containment.check_containment`: build the product
+of the explicit Kripke structure with the (deterministic) property
+automaton, complement its edge-Rabin acceptance into Streett pairs, and
+search the reachable product for a fair cycle.  A fair cycle is a
+counterexample run; none means containment holds.
+
+The monitor's guard and the system step share one resolution of the
+combinational logic — exactly like the symbolic product, where the
+monitor conjunct joins the table conjuncts before quantification.
+Incomplete automata fall into an implicit rejecting trap, matching the
+automatic :meth:`~repro.automata.automaton.Automaton.completed` call in
+``attach``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.automaton import (
+    Automaton,
+    GAnd,
+    GAtom,
+    GNot,
+    GOr,
+    GTrue,
+    Guard,
+)
+from repro.oracle.explicit import Assignment, ExplicitKripke, State
+from repro.oracle.graphs import ExplicitFairness, fair_sccs
+
+TRAP = "_trap"
+
+ProductState = Tuple[State, str]
+
+
+def eval_guard(guard: Guard, env: Assignment) -> bool:
+    """Evaluate a monitor guard under one total assignment."""
+    if isinstance(guard, GTrue):
+        return True
+    if isinstance(guard, GAtom):
+        return env[guard.var] in guard.values
+    if isinstance(guard, GAnd):
+        return all(eval_guard(p, env) for p in guard.parts)
+    if isinstance(guard, GOr):
+        return any(eval_guard(p, env) for p in guard.parts)
+    if isinstance(guard, GNot):
+        return not eval_guard(guard.part, env)
+    raise TypeError(f"unknown guard node {guard!r}")
+
+
+@dataclass
+class ExplicitLcResult:
+    """Outcome of one explicit containment check."""
+
+    holds: bool
+    reachable: Set[ProductState]
+    fair_scc: Optional[Set[ProductState]]
+    product: "ExplicitProduct"
+
+    @property
+    def failed(self) -> bool:
+        return not self.holds
+
+
+@dataclass
+class ExplicitProduct:
+    """The system × monitor product graph, built lazily over the
+    reachable part only."""
+
+    kripke: ExplicitKripke
+    automaton: Automaton
+    init: FrozenSet[ProductState] = field(init=False)
+    successors: Dict[ProductState, Set[ProductState]] = field(
+        init=False, default_factory=dict
+    )
+    _by_src: Dict[str, list] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_src = {s: [] for s in self.automaton.states}
+        for e in self.automaton.edges:
+            self._by_src[e.src].append(e)
+        self.init = frozenset(
+            (s, m)
+            for s in self.kripke.init_states
+            for m in self.automaton.initial
+        )
+
+    def succ(self, node: ProductState) -> Set[ProductState]:
+        cached = self.successors.get(node)
+        if cached is not None:
+            return cached
+        state, mstate = node
+        out: Set[ProductState] = set()
+        if mstate == TRAP and TRAP not in self._by_src:
+            # Implicit rejecting trap: self-loop on every system move.
+            for nxt in self.kripke.successors[state]:
+                out.add((nxt, TRAP))
+        else:
+            for env in self.kripke.resolutions[state]:
+                nxt = tuple(
+                    env[self.kripke.latch_input[l]]
+                    for l in self.kripke.latch_names
+                )
+                matched = False
+                for edge in self._by_src[mstate]:
+                    if eval_guard(edge.guard, env):
+                        matched = True
+                        out.add((nxt, edge.dst))
+                if not matched:
+                    out.add((nxt, TRAP))
+        self.successors[node] = out
+        return out
+
+    def reachable(self) -> Set[ProductState]:
+        reached: Set[ProductState] = set(self.init)
+        frontier = list(self.init)
+        while frontier:
+            node = frontier.pop()
+            for nxt in self.succ(node):
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+        return reached
+
+    def combined_fairness(
+        self, system_fairness: Optional[ExplicitFairness]
+    ) -> ExplicitFairness:
+        """System fairness lifted to product edges, plus the complemented
+        Rabin acceptance as Streett pairs (``inf(I) -> inf(F)``)."""
+
+        def lift(pred):
+            return lambda u, v: pred(u[0], v[0])
+
+        sysf = system_fairness or ExplicitFairness()
+        buchi = [lift(p) for p in sysf.buchi]
+        streett = [(lift(e), lift(f)) for (e, f) in sysf.streett]
+        for fin, inf in self.automaton.rabin_pairs:
+
+            def e_pred(u, v, keys=inf):
+                return (u[1], v[1]) in keys
+
+            def f_pred(u, v, keys=fin):
+                return (u[1], v[1]) in keys
+
+            streett.append((e_pred, f_pred))
+        return ExplicitFairness(buchi=buchi, streett=streett)
+
+
+def check_containment_explicit(
+    kripke: ExplicitKripke,
+    automaton: Automaton,
+    system_fairness: Optional[ExplicitFairness] = None,
+) -> ExplicitLcResult:
+    """Explicit-state verdict for ``L(system) ⊆ L(automaton)``.
+
+    ``system_fairness`` predicates operate on *system* state tuples; they
+    are lifted to product edges internally.
+    """
+    product = ExplicitProduct(kripke, automaton)
+    reached = product.reachable()
+    edges = {(u, v) for u in reached for v in product.succ(u)}
+    fairness = product.combined_fairness(system_fairness)
+    fair = fair_sccs(reached, edges, fairness)
+    return ExplicitLcResult(
+        holds=not fair,
+        reachable=reached,
+        fair_scc=fair[0] if fair else None,
+        product=product,
+    )
+
+
+def validate_lc_trace(
+    kripke: ExplicitKripke,
+    automaton: Automaton,
+    trace,
+    monitor_var: Optional[str] = None,
+) -> List[str]:
+    """Check a symbolic counterexample lasso against the explicit product.
+
+    ``trace`` is a :class:`repro.debug.trace.Trace` (prefix + cycle of
+    steps whose ``state`` dicts carry latch values plus the monitor
+    variable).  Returns a list of problem descriptions; empty means the
+    lasso is a genuine run of the product (starts initial, every hop is a
+    product transition, and the cycle closes).
+    """
+    monitor_var = monitor_var or f"{automaton.name}.state"
+    product = ExplicitProduct(kripke, automaton)
+    problems: List[str] = []
+
+    def decode(step, pos: str) -> Optional[ProductState]:
+        state = kripke.state_of(step.state)
+        if state is None:
+            problems.append(f"{pos}: missing latch values in {step.state!r}")
+            return None
+        mstate = step.state.get(monitor_var)
+        if mstate is None:
+            problems.append(f"{pos}: missing monitor variable {monitor_var!r}")
+            return None
+        if mstate not in automaton.states and mstate != TRAP:
+            problems.append(f"{pos}: unknown monitor state {mstate!r}")
+            return None
+        return (state, mstate)
+
+    steps: List[Tuple[str, object]] = []
+    for i, step in enumerate(trace.prefix):
+        steps.append((f"prefix[{i}]", step))
+    for i, step in enumerate(trace.cycle):
+        steps.append((f"cycle[{i}]", step))
+    if not trace.cycle:
+        problems.append("trace has an empty cycle")
+        return problems
+
+    nodes: List[Optional[ProductState]] = [
+        decode(step, pos) for pos, step in steps
+    ]
+    if any(n is None for n in nodes):
+        return problems
+
+    first = nodes[0]
+    if first[0] not in kripke.init_states or first[1] not in automaton.initial:
+        problems.append(f"{steps[0][0]}: {first!r} is not an initial product state")
+    for i in range(1, len(nodes)):
+        if nodes[i] not in product.succ(nodes[i - 1]):
+            problems.append(
+                f"{steps[i - 1][0]} -> {steps[i][0]}: "
+                f"{nodes[i - 1]!r} -> {nodes[i]!r} is not a product transition"
+            )
+    anchor = nodes[len(trace.prefix)]
+    if anchor not in product.succ(nodes[-1]):
+        problems.append(
+            f"cycle does not close: {nodes[-1]!r} -> {anchor!r} "
+            "is not a product transition"
+        )
+    return problems
+
+
+def system_fairness_from_descs(
+    kripke: ExplicitKripke, descs: Sequence[dict]
+) -> ExplicitFairness:
+    """Build explicit system fairness from serializable constraint descs.
+
+    Each desc is ``{"kind": "buchi_state"|"negative_state"|"streett",
+    "src": {latch: [values]}, ...}`` with Streett descs carrying
+    ``"e_src"``/``"f_src"``; the same descs bind to the symbolic
+    :class:`~repro.automata.fairness.FairnessSpec` in the fuzz harness.
+    """
+    buchi = []
+    streett = []
+    for desc in descs:
+        kind = desc["kind"]
+        if kind == "buchi_state":
+            members = kripke.pred_states(desc["src"])
+            buchi.append(ExplicitFairness.state_buchi(members.__contains__))
+        elif kind == "negative_state":
+            members = kripke.pred_states(desc["src"])
+            buchi.append(ExplicitFairness.negative_state(members.__contains__))
+        elif kind == "streett":
+            e_members = kripke.pred_states(desc["e_src"])
+            f_members = kripke.pred_states(desc["f_src"])
+            streett.append(
+                (
+                    ExplicitFairness.state_buchi(e_members.__contains__),
+                    ExplicitFairness.state_buchi(f_members.__contains__),
+                )
+            )
+        else:
+            raise ValueError(f"unknown fairness desc kind {kind!r}")
+    return ExplicitFairness(buchi=buchi, streett=streett)

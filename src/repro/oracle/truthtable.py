@@ -1,0 +1,158 @@
+"""Bitmask truth tables: the reference model for every BDD operator.
+
+A :class:`TruthTable` over ``n`` variables stores the function as an
+integer bitmask of its ``2**n`` outputs — assignment ``a`` (variable
+``j`` takes bit ``j`` of ``a``) maps to bit ``a`` of the mask.  Every
+operator the kernel exposes has an obvious one-liner here, so the fuzz
+harness can grow random operation DAGs and check each BDD node against
+its mask exhaustively.  Only useful for small ``n`` (the fuzzer uses
+4-6 variables); everything is O(2^n) by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """A boolean function over variables ``0 .. n-1`` as an output bitmask."""
+
+    n: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        full = (1 << (1 << self.n)) - 1
+        if not 0 <= self.mask <= full:
+            raise ValueError(f"mask out of range for {self.n} variables")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def false(cls, n: int) -> "TruthTable":
+        return cls(n, 0)
+
+    @classmethod
+    def true(cls, n: int) -> "TruthTable":
+        return cls(n, (1 << (1 << n)) - 1)
+
+    @classmethod
+    def var(cls, n: int, j: int) -> "TruthTable":
+        if not 0 <= j < n:
+            raise ValueError(f"variable {j} out of range")
+        mask = 0
+        for a in range(1 << n):
+            if (a >> j) & 1:
+                mask |= 1 << a
+        return cls(n, mask)
+
+    # -- evaluation --------------------------------------------------------
+
+    def eval(self, assignment: int) -> bool:
+        """Value under assignment ``a`` (variable j = bit j of ``a``)."""
+        return bool((self.mask >> assignment) & 1)
+
+    def eval_dict(self, assignment: Dict[int, bool]) -> bool:
+        a = 0
+        for j, val in assignment.items():
+            if val:
+                a |= 1 << j
+        return self.eval(a)
+
+    @property
+    def full(self) -> int:
+        return (1 << (1 << self.n)) - 1
+
+    def count(self) -> int:
+        """Number of satisfying assignments over all ``n`` variables."""
+        return bin(self.mask).count("1")
+
+    def support(self) -> Set[int]:
+        """Variables the function actually depends on."""
+        out = set()
+        for j in range(self.n):
+            if self.cofactor({j: False}).mask != self.cofactor({j: True}).mask:
+                out.add(j)
+        return out
+
+    # -- boolean connectives ---------------------------------------------
+
+    def _check(self, other: "TruthTable") -> None:
+        if other.n != self.n:
+            raise ValueError("mixed variable counts")
+
+    def invert(self) -> "TruthTable":
+        return TruthTable(self.n, self.mask ^ self.full)
+
+    def __invert__(self) -> "TruthTable":
+        return self.invert()
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.mask & other.mask)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.mask | other.mask)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.mask ^ other.mask)
+
+    def diff(self, other: "TruthTable") -> "TruthTable":
+        return self & ~other
+
+    def implies(self, other: "TruthTable") -> "TruthTable":
+        return ~self | other
+
+    def iff(self, other: "TruthTable") -> "TruthTable":
+        return ~(self ^ other)
+
+    def ite(self, then: "TruthTable", else_: "TruthTable") -> "TruthTable":
+        return (self & then) | (~self & else_)
+
+    # -- structural operators ----------------------------------------------
+
+    def cofactor(self, partial: Dict[int, bool]) -> "TruthTable":
+        """Substitute constants for some variables (kernel ``restrict``)."""
+        mask = 0
+        for a in range(1 << self.n):
+            b = a
+            for j, val in partial.items():
+                b = (b | (1 << j)) if val else (b & ~(1 << j))
+            if self.eval(b):
+                mask |= 1 << a
+        return TruthTable(self.n, mask)
+
+    def exist(self, variables: Iterable[int]) -> "TruthTable":
+        out = self
+        for j in set(variables):
+            out = out.cofactor({j: False}) | out.cofactor({j: True})
+        return out
+
+    def forall(self, variables: Iterable[int]) -> "TruthTable":
+        out = self
+        for j in set(variables):
+            out = out.cofactor({j: False}) & out.cofactor({j: True})
+        return out
+
+    def and_exists(self, other: "TruthTable", variables: Iterable[int]) -> "TruthTable":
+        return (self & other).exist(variables)
+
+    def compose(self, j: int, g: "TruthTable") -> "TruthTable":
+        """Substitute ``g`` for variable ``j`` (Shannon expansion)."""
+        self._check(g)
+        return g.ite(self.cofactor({j: True}), self.cofactor({j: False}))
+
+    def rename(self, mapping: Dict[int, int]) -> "TruthTable":
+        """Permute variables (``mapping`` old index -> new index)."""
+        mask = 0
+        for a in range(1 << self.n):
+            b = 0
+            for j in range(self.n):
+                if (a >> mapping.get(j, j)) & 1:
+                    b |= 1 << j
+            if self.eval(b):
+                mask |= 1 << a
+        return TruthTable(self.n, mask)

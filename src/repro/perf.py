@@ -74,6 +74,21 @@ class EngineStats:
         """Increment a named event counter."""
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another collector's phases and counters into this one.
+
+        The fuzz harness creates a short-lived :class:`SymbolicFsm` (and
+        hence a fresh ``EngineStats``) per trial; merging lets the sweep
+        report aggregate timing across all of them.  Kernel-level numbers
+        are not merged — they belong to each trial's own manager.
+        """
+        for name, stat in other.phases.items():
+            mine = self.phases.setdefault(name, PhaseStat())
+            mine.seconds += stat.seconds
+            mine.calls += stat.calls
+        for name, amount in other.counters.items():
+            self.bump(name, amount)
+
     def snapshot(self) -> Dict[str, object]:
         """Flat dictionary of everything known right now."""
         out: Dict[str, object] = {}

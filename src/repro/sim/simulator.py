@@ -37,9 +37,14 @@ class SimTrace:
 
 
 class Simulator:
-    """Interactive/random walker over the reachable states of a machine."""
+    """Interactive/random walker over the reachable states of a machine.
 
-    def __init__(self, fsm: SymbolicFsm, seed: Optional[int] = None):
+    The random policy is deterministic by default (``seed=0``) so runs
+    are reproducible; pass a different seed for other walks, or
+    ``seed=None`` to seed from OS entropy.
+    """
+
+    def __init__(self, fsm: SymbolicFsm, seed: Optional[int] = 0):
         self.fsm = fsm
         self.bdd = fsm.bdd
         self.random = random.Random(seed)

@@ -204,6 +204,25 @@ class TestFairCtl:
         assert not check_ctl(fsm2, "AF s{1,4}").holds
         assert check_ctl(fsm2, "AF s{1,4}", fairness=spec).holds
 
+    def test_invariant_fast_path_disabled_under_fairness(self):
+        # Found by the differential fuzzer (tests/corpus/seed000013_*):
+        # the AG fast path ran forward reachability even with a
+        # non-trivial FairnessSpec.  State 4 is reachable but lies on no
+        # fair path once parking there is unfair, so fair semantics say
+        # AG !(s=4) holds while plain reachability reports a violation.
+        fsm = build(MACHINE)
+        spec = FairnessSpec([
+            NegativeStateSet(fsm.var("s").literal("4"), label="leave4"),
+        ])
+        checker = ModelChecker(fsm, fairness=spec)
+        fast = checker.check("AG !(s=4)")
+        slow = checker.check("AG !(s=4)", fast_invariant=False)
+        assert not fast.used_fast_path
+        assert fast.holds and slow.holds
+        # Without fairness the fast path still applies and still fails.
+        plain = ModelChecker(build(MACHINE)).check("AG !(s=4)")
+        assert plain.used_fast_path and not plain.holds
+
     def test_fair_eg_excludes_unfair_lassos(self):
         fsm = build(MACHINE)
         spec = FairnessSpec([

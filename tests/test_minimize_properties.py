@@ -1,0 +1,122 @@
+"""Property-based tests: bisimulation quotients vs the explicit oracle.
+
+On fuzzer-generated models, the coarsest bisimulation partition must
+
+* actually partition the state space,
+* be *stable*: whether a state can step into class ``B`` is constant
+  across each class ``A`` (the defining bisimulation property), and
+* preserve CTL over the observables: checking a formula on the explicit
+  quotient graph gives the same per-state answers as checking it on the
+  full explicit state graph.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctl import ModelChecker
+from repro.lc.faircycle import FairGraph
+from repro.minimize import bisimulation_partition, quotient_size, representatives
+from repro.network import SymbolicFsm
+from repro.oracle import ExplicitKripke, ExplicitModelChecker, state_bits
+from repro.oracle.fuzz import gen_model, gen_prop
+
+FORMULAS = [
+    "EF p0=1",
+    "AG p0=1",
+    "EG p1=1",
+    "AX p1=1",
+    "E[ p1=1 U p0=1 ]",
+    "A[ p0=1 U p1=1 ]",
+]
+
+
+def setup(seed):
+    rng = random.Random(seed)
+    model = gen_model(rng, max_space=256)
+    kripke = ExplicitKripke(model)
+    fsm = SymbolicFsm(model)
+    fsm.build_transition()
+    checker = ModelChecker(fsm)
+    observables = [
+        checker.eval(gen_prop(rng, model, depth=2)) for _ in range(2)
+    ]
+    partition = bisimulation_partition(fsm, observables)
+    return kripke, fsm, observables, partition
+
+
+def member(fsm, node, state, latch_names):
+    return fsm.bdd.eval(node, state_bits(fsm, state, latch_names))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=5_000))
+def test_classes_partition_the_state_space(seed):
+    kripke, fsm, _, partition = setup(seed)
+    bdd = fsm.bdd
+    union = bdd.false
+    for cls in partition.classes:
+        assert cls != bdd.false
+        assert bdd.and_(union, cls) == bdd.false  # pairwise disjoint
+        union = bdd.or_(union, cls)
+    assert union == fsm.state_domain()
+    assert quotient_size(partition) == len(partition.classes)
+    # One representative per (non-empty) class.
+    assert fsm.count_states(representatives(fsm, partition)) == len(
+        partition.classes
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=5_000))
+def test_partition_is_stable(seed):
+    kripke, fsm, _, partition = setup(seed)
+    bdd = fsm.bdd
+    graph = FairGraph(fsm)
+    space = fsm.state_domain()
+    for target in partition.classes:
+        can_step = bdd.and_(graph.pre(target), space)
+        for cls in partition.classes:
+            inside = bdd.and_(cls, can_step)
+            assert inside in (bdd.false, cls)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=5_000))
+def test_quotient_preserves_ctl_over_observables(seed):
+    kripke, fsm, observables, partition = setup(seed)
+    names = kripke.latch_names
+
+    def class_of(state):
+        for i, cls in enumerate(partition.classes):
+            if member(fsm, cls, state, names):
+                return i
+        raise AssertionError(f"state {state!r} in no class")
+
+    cls_index = {s: class_of(s) for s in kripke.states}
+    quot_succ = {i: set() for i in range(len(partition.classes))}
+    for s in kripke.states:
+        for t in kripke.successors[s]:
+            quot_succ[cls_index[s]].add(cls_index[t])
+
+    obs_states = [
+        {s for s in kripke.states if member(fsm, obs, s, names)}
+        for obs in observables
+    ]
+
+    def full_atoms(var, values):
+        return obs_states[int(var[1:])]
+
+    def quot_atoms(var, values):
+        good = obs_states[int(var[1:])]
+        return {i for s, i in cls_index.items() if s in good}
+
+    full = ExplicitModelChecker(kripke.states, kripke.successors, full_atoms)
+    quot = ExplicitModelChecker(
+        range(len(partition.classes)), quot_succ, quot_atoms
+    )
+    for text in FORMULAS:
+        full_sat = full.eval(text)
+        quot_sat = quot.eval(text)
+        for s in kripke.states:
+            assert (s in full_sat) == (cls_index[s] in quot_sat), text

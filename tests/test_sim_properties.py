@@ -1,0 +1,73 @@
+"""Property-based tests: the simulator vs the explicit-state oracle.
+
+Every trace the seeded random walker produces must be a genuine path of
+the model: each visited state lies in the oracle's reachable set and
+each consecutive pair is an oracle transition.  Models come from the
+differential fuzzer's generators, so the walker is exercised on
+nondeterministic tables, free inputs and multi-valued domains.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network import SymbolicFsm
+from repro.oracle import ExplicitKripke
+from repro.oracle.fuzz import gen_model
+from repro.sim import Simulator
+
+MAX_STEPS = 12
+
+
+def walk(seed):
+    """Run a seeded random walk; returns (kripke, list of state tuples)."""
+    model = gen_model(random.Random(seed), max_space=512)
+    kripke = ExplicitKripke(model)
+    fsm = SymbolicFsm(model)
+    sim = Simulator(fsm, seed=seed)
+    sim.reset()
+    for _ in range(MAX_STEPS):
+        if not sim.successors():
+            break
+        sim.step()
+    states = [
+        tuple(s[name] for name in kripke.latch_names)
+        for s in sim.trace.states
+    ]
+    return kripke, sim, states
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_trace_states_are_oracle_reachable(seed):
+    kripke, _, states = walk(seed)
+    reached, _ = kripke.reachable()
+    assert states[0] in kripke.init_states
+    for state in states:
+        assert state in reached
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_trace_steps_are_oracle_transitions(seed):
+    kripke, _, states = walk(seed)
+    for here, there in zip(states, states[1:]):
+        assert there in kripke.successors[here]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_deadlock_agrees_with_oracle(seed):
+    kripke, sim, states = walk(seed)
+    # The walk stopped early iff the oracle sees no successor there.
+    stopped_early = len(states) < MAX_STEPS + 1
+    if stopped_early:
+        assert not kripke.successors[states[-1]]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_same_seed_same_trace(seed):
+    _, _, first = walk(seed)
+    _, _, second = walk(seed)
+    assert first == second

@@ -41,7 +41,11 @@ def results_collector():
 def pytest_sessionfinish(session, exitstatus):
     if not _RESULTS:
         return
-    path = os.path.join(os.path.dirname(__file__), "results.json")
+    # benchmarks/run.py redirects each concurrent session's rows to a
+    # private file via HSIS_BENCH_RESULTS and merges them itself.
+    path = os.environ.get("HSIS_BENCH_RESULTS") or os.path.join(
+        os.path.dirname(__file__), "results.json"
+    )
     # Merge with previous runs so partial bench invocations accumulate.
     previous = {}
     if os.path.exists(path):
@@ -53,8 +57,10 @@ def pytest_sessionfinish(session, exitstatus):
     for experiment, rows in _RESULTS.items():
         for key, values in rows.items():
             previous.setdefault(experiment, {}).setdefault(key, {}).update(values)
-    with open(path, "w") as handle:
-        json.dump(previous, handle, indent=2, sort_keys=True)
+    # Atomic write: an interrupted run must not truncate the history.
+    from repro.parallel.atomic import atomic_write_json
+
+    atomic_write_json(path, previous)
 
     out = session.config.get_terminal_writer()
     for experiment in sorted(_RESULTS):

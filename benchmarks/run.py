@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Run the benchmark matrix, optionally fanned across worker processes.
+
+Each ``bench_*.py`` file executes as its own pytest session (a fresh
+interpreter, so sessions cannot distort each other's timings); with
+``--jobs N`` up to N sessions run concurrently through
+``repro.parallel``.  All measured rows are merged in sorted-file order
+and written to ``results.json`` atomically, so an interrupted run never
+truncates the accumulated history.
+
+    python benchmarks/run.py                       # everything, serially
+    python benchmarks/run.py --jobs 4              # whole matrix, 4 workers
+    python benchmarks/run.py --jobs 2 bench_fuzz.py bench_ordering.py
+"""
+
+import argparse
+import os
+import sys
+
+SUITE_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(SUITE_DIR), "src"))
+
+from repro.parallel.bench import run_benchmarks  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*", metavar="BENCH",
+        help="bench files to run (default: every bench_*.py in the suite)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N bench sessions concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--suite", default=SUITE_DIR, metavar="DIR",
+        help="directory holding the bench files (default: this directory)",
+    )
+    parser.add_argument(
+        "--results", default=None, metavar="PATH",
+        help="results file to accumulate into (default: SUITE/results.json)",
+    )
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore the accumulated history instead of merging into it",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-session deadline; an overrunning bench file is reaped",
+    )
+    opts = parser.parse_args(argv)
+    files = None
+    if opts.files:
+        files = [
+            path if os.path.isabs(path) else os.path.join(opts.suite, path)
+            for path in opts.files
+        ]
+    report = run_benchmarks(
+        files=files,
+        suite_dir=opts.suite,
+        jobs=opts.jobs,
+        results_path=opts.results,
+        fresh=opts.fresh,
+        timeout=opts.timeout,
+    )
+    for outcome in report.outcomes:
+        print(f"{outcome.file}: {outcome.status}")
+        if outcome.detail:
+            print(f"  {outcome.detail}")
+    print(
+        f"bench matrix: {len(report.outcomes)} session(s), "
+        f"{sum(1 for o in report.outcomes if o.ok)} ok, "
+        f"results -> {report.results_path}"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -220,8 +220,22 @@ class HsisShell:
         return self.checker
 
     def cmd_mc(self, args: List[str]) -> str:
-        """mc [formula...] — model check PIF CTL properties (or a formula)."""
-        checker = self._make_checker()
+        """mc [--jobs N] [formula...] — model check PIF CTL properties.
+
+        With ``--jobs N`` (N > 1) and more than one loaded property, the
+        independent properties are sharded across worker processes; the
+        verdicts are identical to the serial run (see docs/parallel.md).
+        """
+        workers = 1
+        if "--jobs" in args:
+            at = args.index("--jobs")
+            try:
+                workers = int(args[at + 1])
+            except (IndexError, ValueError):
+                raise CliError("usage: mc [--jobs N] [formula...]")
+            if workers <= 0:
+                raise CliError("mc: --jobs must be a positive integer")
+            args = args[:at] + args[at + 2:]
         jobs = []
         if args:
             text = " ".join(args)
@@ -230,6 +244,18 @@ class HsisShell:
             if self.pif is None or not self.pif.ctl_props:
                 raise CliError("no CTL properties loaded; read_pif or pass a formula")
             jobs = list(self.pif.ctl_props)
+        if workers > 1 and len(jobs) > 1:
+            from repro.parallel import check_properties
+
+            self._need_fsm()  # same preconditions as the serial path
+            verdicts = check_properties(
+                self.flat,
+                jobs,
+                self.pif.fairness if self.pif is not None else (),
+                jobs=workers,
+            )
+            return "\n".join(v.format() for v in verdicts)
+        checker = self._make_checker()
         out = []
         for name, formula in jobs:
             result = checker.check(formula)
@@ -519,6 +545,10 @@ def _fuzz_main(argv: List[str]) -> int:
         "--stats", action="store_true",
         help="print aggregate engine statistics after the sweep",
     )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="shard the seed range across N worker processes (default 1)",
+    )
     opts = parser.parse_args(argv)
     stats = EngineStats()
 
@@ -527,18 +557,98 @@ def _fuzz_main(argv: List[str]) -> int:
             for div in report.divergences:
                 print(div, file=sys.stderr)
 
-    sweep = run_sweep(
-        opts.trials,
-        seed0=opts.seed,
-        stats=stats,
-        corpus_dir=opts.corpus,
-        shrink=not opts.no_shrink,
-        progress=progress,
-    )
+    if opts.jobs > 1:
+        from repro.parallel import run_sweep_parallel
+
+        sweep = run_sweep_parallel(
+            opts.trials,
+            seed0=opts.seed,
+            jobs=opts.jobs,
+            stats=stats,
+            corpus_dir=opts.corpus,
+            shrink=not opts.no_shrink,
+            progress=progress,
+        )
+    else:
+        sweep = run_sweep(
+            opts.trials,
+            seed0=opts.seed,
+            stats=stats,
+            corpus_dir=opts.corpus,
+            shrink=not opts.no_shrink,
+            progress=progress,
+        )
     print(sweep.summary())
     if opts.stats:
         print(stats.format())
     return 0 if sweep.ok else 1
+
+
+def _check_main(argv: List[str]) -> int:
+    """``hsis check`` — batch multi-property model checking."""
+    from repro.parallel import check_properties
+    from repro.perf import EngineStats
+
+    parser = argparse.ArgumentParser(
+        prog="hsis check",
+        description=(
+            "Model check every CTL property of a PIF file against a "
+            "design; independent properties are sharded across worker "
+            "processes with --jobs."
+        ),
+    )
+    parser.add_argument("design", help="BLIF-MV (.mv) or Verilog (.v) design")
+    parser.add_argument("pif", help="PIF file with the CTL properties")
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="check up to N properties concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-property deadline; overrunning checks report as timeout",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print aggregate engine statistics after the run",
+    )
+    opts = parser.parse_args(argv)
+    try:
+        if opts.design.endswith(".v"):
+            with open(opts.design) as handle:
+                design = compile_verilog(handle.read())
+        else:
+            design = parse_blifmv_file(opts.design)
+        flat = flatten(design)
+        pif = parse_pif_file(opts.pif)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not pif.ctl_props:
+        print("error: no CTL properties in the PIF file", file=sys.stderr)
+        return 2
+    stats = EngineStats()
+    verdicts = check_properties(
+        flat,
+        pif.ctl_props,
+        pif.fairness,
+        jobs=opts.jobs,
+        stats=stats,
+        timeout=opts.timeout,
+    )
+    for verdict in verdicts:
+        print(verdict.format())
+        if verdict.error:
+            print(f"  {verdict.error.strip().splitlines()[-1]}", file=sys.stderr)
+    passed = sum(1 for v in verdicts if v.holds is True)
+    failed = sum(1 for v in verdicts if v.holds is False)
+    errors = sum(1 for v in verdicts if v.holds is None)
+    print(
+        f"check: {len(verdicts)} properties, {passed} passed, "
+        f"{failed} failed, {errors} errored (jobs={opts.jobs})"
+    )
+    if opts.stats:
+        print(stats.format())
+    return 0 if passed == len(verdicts) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -546,6 +656,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hsis", description="HSIS reproduction shell"
     )

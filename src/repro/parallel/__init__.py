@@ -1,0 +1,59 @@
+"""Process-pool runtime for fanning independent verification jobs.
+
+HSIS-style evaluation is dominated by *independent* symbolic jobs —
+per-seed differential trials, per-design benchmarks, per-property CTL
+checks.  This package runs them across cores without changing a single
+answer:
+
+* :mod:`repro.parallel.pool` — :class:`WorkerPool`: per-task timeouts,
+  bounded retry with backoff, crash isolation (a dead or hung worker is
+  reaped and its task retried or reported — never lost, never able to
+  wedge the sweep).
+* :mod:`repro.parallel.tasks` — picklable :class:`Task` descriptors and
+  :class:`ResultEnvelope` results carrying verdict, error trace, and a
+  per-worker :class:`~repro.perf.EngineStats`.
+* :mod:`repro.parallel.sweep` — ``hsis fuzz --jobs N`` seed-range
+  sharding (report identical to the serial sweep).
+* :mod:`repro.parallel.check` — ``hsis check`` / ``mc --jobs N``
+  multi-property model checking.
+* :mod:`repro.parallel.bench` — ``benchmarks/run.py`` concurrent bench
+  matrix with atomic ``results.json`` accumulation.
+* :mod:`repro.parallel.atomic` — temp-file + ``os.replace`` JSON writes.
+
+Semantics are pinned down by ``tests/test_parallel_determinism.py``,
+``tests/test_parallel_faults.py`` and ``tests/test_parallel_stress.py``;
+see ``docs/parallel.md``.
+"""
+
+from repro.parallel.atomic import atomic_write_json
+from repro.parallel.check import PropertyVerdict, check_properties
+from repro.parallel.pool import PoolError, WorkerPool, default_jobs
+from repro.parallel.sweep import run_sweep_parallel
+from repro.parallel.tasks import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ResultEnvelope,
+    Task,
+    TaskResult,
+    shard_range,
+)
+
+__all__ = [
+    "PoolError",
+    "PropertyVerdict",
+    "ResultEnvelope",
+    "STATUS_CRASHED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "Task",
+    "TaskResult",
+    "WorkerPool",
+    "atomic_write_json",
+    "check_properties",
+    "default_jobs",
+    "run_sweep_parallel",
+    "shard_range",
+]

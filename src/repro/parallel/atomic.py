@@ -1,0 +1,46 @@
+"""Atomic JSON file writes (temp file + ``os.replace``).
+
+``benchmarks/results.json`` accumulates measurement history across many
+partial bench invocations; a plain ``open(path, "w")`` truncates the
+file *before* the new payload is serialized, so a crash or kill
+mid-write destroys the whole history.  Writing to a sibling temp file
+and renaming guarantees readers (and interrupted writers) always see
+either the complete old payload or the complete new one — never a
+truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_json(path: str, payload: Any, **json_kwargs: Any) -> None:
+    """Serialize ``payload`` as JSON into ``path`` atomically.
+
+    The temp file lives in the same directory as ``path`` so the final
+    ``os.replace`` never crosses a filesystem boundary.  If
+    serialization (or the writer process) dies mid-write, ``path`` is
+    left untouched.
+    """
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", True)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, **json_kwargs)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,227 @@
+"""Concurrent benchmark matrix: ``python benchmarks/run.py --jobs N``.
+
+Each ``bench_*.py`` module is an independent pytest session, so the
+matrix fans out one pool task per file.  Isolation is a fresh
+interpreter per session (``python -m pytest <file>``): bench modules
+measure wall time, and sharing a process would let sessions distort
+each other's numbers.  Each session writes its measured rows to a
+private temp file (the ``HSIS_BENCH_RESULTS`` override honored by
+``benchmarks/conftest.py``); the parent merges all rows **in sorted
+file order** — so the merged payload does not depend on completion
+order — folds in the accumulated ``results.json`` history, and writes
+the result atomically (temp + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.parallel.atomic import atomic_write_json
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import Task, TaskResult, worker_stats
+
+#: Environment variable redirecting a bench session's results payload.
+RESULTS_ENV = "HSIS_BENCH_RESULTS"
+
+
+def _src_root() -> str:
+    """Directory to put on PYTHONPATH so subprocesses can import repro."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _bench_file_worker(path: str, pytest_args: Sequence[str]) -> TaskResult:
+    """Run one bench file as its own pytest session; return its rows."""
+    handle = tempfile.NamedTemporaryFile(
+        prefix="hsis-bench-", suffix=".json", delete=False
+    )
+    handle.close()
+    os.unlink(handle.name)  # conftest will (re)create it on session end
+    env = dict(os.environ)
+    env[RESULTS_ENV] = handle.name
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_src_root(), env.get("PYTHONPATH")) if p
+    )
+    command = [
+        sys.executable, "-m", "pytest", path, "-q",
+        "-p", "no:cacheprovider", *pytest_args,
+    ]
+    proc = subprocess.run(
+        command, env=env, capture_output=True, text=True,
+        cwd=os.path.dirname(os.path.abspath(path)),
+    )
+    rows: Dict[str, dict] = {}
+    try:
+        with open(handle.name) as result_file:
+            rows = json.load(result_file)
+    except (OSError, ValueError):
+        rows = {}
+    finally:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+    tail = "\n".join(
+        (proc.stdout + proc.stderr).strip().splitlines()[-20:]
+    )
+    return TaskResult(
+        {
+            "file": os.path.basename(path),
+            "returncode": proc.returncode,
+            "rows": rows,
+            "tail": tail,
+        },
+        worker_stats(bench_sessions=1),
+    )
+
+
+@dataclass
+class BenchFileOutcome:
+    """One bench session's result as seen by the runner."""
+
+    file: str
+    status: str  # ok | failed | error | timeout | crashed
+    returncode: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class BenchRunReport:
+    """Everything a ``run.py`` invocation produced."""
+
+    outcomes: List[BenchFileOutcome] = field(default_factory=list)
+    payload: Dict[str, dict] = field(default_factory=dict)
+    results_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+
+def discover_bench_files(suite_dir: str) -> List[str]:
+    """Sorted ``bench_*.py`` paths under ``suite_dir``."""
+    return sorted(
+        os.path.join(suite_dir, name)
+        for name in os.listdir(suite_dir)
+        if name.startswith("bench_") and name.endswith(".py")
+    )
+
+
+def merge_rows(payload: Dict[str, dict], rows: Dict[str, dict]) -> None:
+    """Fold one session's rows into ``payload`` (conftest merge rule)."""
+    for experiment, keyed in rows.items():
+        for key, values in keyed.items():
+            payload.setdefault(experiment, {}).setdefault(key, {}).update(
+                values
+            )
+
+
+def run_benchmarks(
+    files: Optional[Sequence[str]] = None,
+    suite_dir: Optional[str] = None,
+    jobs: int = 1,
+    results_path: Optional[str] = None,
+    pytest_args: Sequence[str] = (),
+    fresh: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    pool: Optional[WorkerPool] = None,
+) -> BenchRunReport:
+    """Run the bench matrix, merge rows, write ``results.json`` atomically.
+
+    ``files`` (explicit paths) overrides discovery under ``suite_dir``.
+    With ``fresh=True`` the accumulated history in ``results_path`` is
+    ignored instead of merged.  Bench sessions are never retried by
+    default — re-running a measurement silently would skew timings.
+    """
+    if files is None:
+        if suite_dir is None:
+            raise ValueError("need either explicit files or a suite_dir")
+        files = discover_bench_files(suite_dir)
+    files = [os.path.abspath(path) for path in files]
+    if results_path is None and suite_dir is not None:
+        results_path = os.path.join(suite_dir, "results.json")
+
+    job_tasks = [
+        Task(
+            task_id=f"bench[{os.path.basename(path)}]",
+            fn=_bench_file_worker,
+            args=(path, tuple(pytest_args)),
+            timeout=timeout,
+        )
+        for path in files
+    ]
+    if pool is None and jobs > 1:
+        pool = WorkerPool(jobs, timeout=timeout, retries=retries)
+    if pool is not None:
+        envelopes = pool.run(job_tasks)
+    else:
+        # Serial path: same worker body, same subprocess isolation.
+        from repro.parallel.tasks import ResultEnvelope
+
+        envelopes = []
+        for task in job_tasks:
+            try:
+                result = task.fn(*task.args)
+                envelopes.append(
+                    ResultEnvelope(
+                        task_id=task.task_id, value=result.value,
+                        stats=result.stats, attempts=1,
+                    )
+                )
+            except Exception as exc:
+                envelopes.append(
+                    ResultEnvelope(
+                        task_id=task.task_id, status="error",
+                        error=str(exc), attempts=1,
+                    )
+                )
+
+    report = BenchRunReport(results_path=results_path)
+    # Merge in sorted-file order regardless of completion order.
+    for path, envelope in sorted(
+        zip(files, envelopes), key=lambda pair: pair[0]
+    ):
+        name = os.path.basename(path)
+        if not envelope.ok:
+            report.outcomes.append(
+                BenchFileOutcome(
+                    file=name, status=envelope.status,
+                    detail=(envelope.error or "").strip().splitlines()[-1]
+                    if envelope.error else "",
+                )
+            )
+            continue
+        session = envelope.value
+        merge_rows(report.payload, session["rows"])
+        report.outcomes.append(
+            BenchFileOutcome(
+                file=name,
+                status="ok" if session["returncode"] == 0 else "failed",
+                returncode=session["returncode"],
+                detail="" if session["returncode"] == 0 else session["tail"],
+            )
+        )
+
+    if results_path is not None:
+        combined: Dict[str, dict] = {}
+        if not fresh and os.path.exists(results_path):
+            try:
+                with open(results_path) as handle:
+                    combined = json.load(handle)
+            except (OSError, ValueError):
+                combined = {}
+        merge_rows(combined, report.payload)
+        atomic_write_json(results_path, combined)
+    return report

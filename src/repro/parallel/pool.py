@@ -1,0 +1,337 @@
+"""Crash-isolated process pool for independent verification jobs.
+
+Every attempt of every task runs in its **own** worker process, with up
+to ``jobs`` running concurrently.  That buys three guarantees the
+consumers (fuzz sharding, bench matrix, multi-property checking) rely
+on:
+
+* **timeout** — a worker that outlives its per-task deadline is
+  terminated (SIGTERM, then SIGKILL) and the attempt is marked
+  ``timeout``; a hung task can never wedge the sweep,
+* **crash isolation** — a worker that dies without reporting (segfault,
+  ``os._exit``, OOM-kill) is reaped and the attempt is marked
+  ``crashed``; sibling tasks keep their own processes and keep running,
+* **bounded retry** — failed attempts (error / timeout / crash) are
+  relaunched with exponential backoff up to the retry bound, after
+  which the *last* failure is surfaced in the task's
+  :class:`~repro.parallel.tasks.ResultEnvelope`.
+
+Determinism note: the pool schedules opportunistically, but
+:meth:`WorkerPool.run` always returns envelopes in **submission
+order**, so consumers that merge results positionally (the fuzz sweep,
+the bench runner) produce output independent of worker timing.
+
+Tasks must be picklable (module-level functions; see
+:mod:`repro.parallel.tasks`).  On platforms with ``fork`` the pool
+forks — cheap, and lets tests submit functions defined in any loaded
+module; elsewhere it falls back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.parallel.tasks import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ResultEnvelope,
+    Task,
+    TaskResult,
+)
+
+#: Grace period between SIGTERM and SIGKILL when reaping a worker.
+REAP_GRACE_SECONDS = 0.5
+
+#: Upper bound on one scheduler nap, so deadlines are checked promptly.
+POLL_CAP_SECONDS = 0.05
+
+
+def _attempt_main(conn, fn, args, kwargs) -> None:
+    """Worker-side entry: run the task, ship one message, exit.
+
+    The message is ``(status, value, stats, error, seconds)``.  Any
+    exception — including ``SystemExit`` — becomes an ``error`` report;
+    only a hard kill (``os._exit``, signal) leaves the parent without a
+    message, which it classifies as a crash.
+    """
+    start = time.perf_counter()
+    status, value, stats, error = STATUS_OK, None, None, None
+    try:
+        out = fn(*args, **kwargs)
+        if isinstance(out, TaskResult):
+            value, stats = out.value, out.stats
+        else:
+            value = out
+    except BaseException:
+        status, error = STATUS_ERROR, traceback.format_exc()
+    seconds = time.perf_counter() - start
+    try:
+        conn.send((status, value, stats, error, seconds))
+    except Exception:
+        # Unpicklable result: downgrade to an error the parent can read.
+        try:
+            conn.send(
+                (STATUS_ERROR, None, None,
+                 f"task result could not be pickled:\n{traceback.format_exc()}",
+                 seconds)
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Parent-side bookkeeping for one in-flight worker process."""
+
+    task: Task
+    index: int
+    attempt: int
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+    message: Optional[tuple] = field(default=None, repr=False)
+
+
+class PoolError(Exception):
+    """Misuse of the pool (unpicklable task, bad configuration)."""
+
+
+class WorkerPool:
+    """Run picklable tasks across worker processes; never lose one.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum concurrent worker processes (>= 1).
+    timeout:
+        Default per-task deadline in seconds (``None`` = unbounded);
+        each :class:`Task` may override it.
+    retries:
+        How many times a failed attempt is relaunched (0 = no retry).
+    backoff:
+        Base delay before a retry; doubles with each further attempt.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, backoff)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        progress: Optional[Callable[[ResultEnvelope], None]] = None,
+    ) -> List[ResultEnvelope]:
+        """Execute ``tasks``; return one envelope per task, in order.
+
+        ``progress`` (if given) is called once per task with its final
+        envelope, as each task finishes (completion order).
+        """
+        tasks = list(tasks)
+        final: Dict[int, ResultEnvelope] = {}
+        ready: Deque[tuple] = deque(
+            (task, index, 1) for index, task in enumerate(tasks)
+        )
+        delayed: List[tuple] = []  # (not_before, task, index, attempt)
+        active: List[_Attempt] = []
+
+        def finalize(index: int, envelope: ResultEnvelope) -> None:
+            final[index] = envelope
+            if progress is not None:
+                progress(envelope)
+
+        def settle(attempt: _Attempt, envelope: ResultEnvelope) -> None:
+            """Route one finished attempt: retry if allowed, else final."""
+            bound = attempt.task.retries
+            bound = self.retries if bound is None else max(0, bound)
+            if envelope.ok or attempt.attempt > bound:
+                finalize(attempt.index, envelope)
+            else:
+                pause = self.backoff * (2 ** (attempt.attempt - 1))
+                delayed.append(
+                    (time.monotonic() + pause, attempt.task,
+                     attempt.index, attempt.attempt + 1)
+                )
+
+        while ready or delayed or active:
+            now = time.monotonic()
+            # Promote retries whose backoff has elapsed.
+            due = [item for item in delayed if item[0] <= now]
+            for item in due:
+                delayed.remove(item)
+                ready.append((item[1], item[2], item[3]))
+            # Fill free worker slots.
+            while ready and len(active) < self.jobs:
+                task, index, attempt = ready.popleft()
+                active.append(self._launch(task, index, attempt))
+            # Sleep until something can happen: a result arrives, a
+            # deadline passes, or a backoff expires.
+            nap = POLL_CAP_SECONDS
+            for entry in active:
+                if entry.deadline is not None:
+                    nap = min(nap, max(0.0, entry.deadline - now))
+            for not_before, *_ in delayed:
+                nap = min(nap, max(0.0, not_before - now))
+            conns = [entry.conn for entry in active]
+            if conns:
+                readable = set(_connection_wait(conns, timeout=nap))
+            else:
+                readable = set()
+                if nap > 0:
+                    time.sleep(min(nap, POLL_CAP_SECONDS))
+            for entry in active:
+                if entry.conn in readable:
+                    try:
+                        entry.message = entry.conn.recv()
+                    except (EOFError, OSError):
+                        entry.message = None  # died mid-send: a crash
+            # Sweep the in-flight set: reported / dead / overdue.
+            now = time.monotonic()
+            still_active: List[_Attempt] = []
+            for entry in active:
+                if entry.message is not None:
+                    settle(entry, self._envelope_from_message(entry))
+                    self._reap(entry, force=False)
+                elif not entry.process.is_alive():
+                    # One last poll: the result may have landed between
+                    # the wait() and the process exiting.
+                    if self._drain(entry):
+                        settle(entry, self._envelope_from_message(entry))
+                    else:
+                        settle(
+                            entry,
+                            ResultEnvelope(
+                                task_id=entry.task.task_id,
+                                status=STATUS_CRASHED,
+                                error=(
+                                    "worker process died without reporting "
+                                    f"(exit code {entry.process.exitcode})"
+                                ),
+                                attempts=entry.attempt,
+                                seconds=now - entry.started,
+                            ),
+                        )
+                    self._reap(entry, force=False)
+                elif entry.deadline is not None and now >= entry.deadline:
+                    self._reap(entry, force=True)
+                    settle(
+                        entry,
+                        ResultEnvelope(
+                            task_id=entry.task.task_id,
+                            status=STATUS_TIMEOUT,
+                            error=(
+                                f"task exceeded its {self._deadline_for(entry.task):.3g}s "
+                                "deadline and was terminated"
+                            ),
+                            attempts=entry.attempt,
+                            seconds=now - entry.started,
+                        ),
+                    )
+                else:
+                    still_active.append(entry)
+            active = still_active
+        return [final[index] for index in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+
+    def _deadline_for(self, task: Task) -> Optional[float]:
+        return self.timeout if task.timeout is None else task.timeout
+
+    def _launch(self, task: Task, index: int, attempt: int) -> _Attempt:
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_attempt_main,
+            args=(send_conn, task.fn, task.args, task.kwargs),
+            daemon=True,
+            name=f"hsis-pool-{task.task_id}-a{attempt}",
+        )
+        try:
+            process.start()
+        except Exception as exc:
+            send_conn.close()
+            recv_conn.close()
+            raise PoolError(
+                f"cannot launch worker for task {task.task_id!r}: {exc}"
+            ) from exc
+        # Close the parent's copy of the send end *before* the next fork
+        # so no sibling inherits it: EOF detection (and thus crash
+        # classification) stays prompt.
+        send_conn.close()
+        started = time.monotonic()
+        limit = self._deadline_for(task)
+        return _Attempt(
+            task=task,
+            index=index,
+            attempt=attempt,
+            process=process,
+            conn=recv_conn,
+            started=started,
+            deadline=None if limit is None else started + limit,
+        )
+
+    def _drain(self, entry: _Attempt) -> bool:
+        """Non-blocking last-chance read of a finished worker's pipe."""
+        try:
+            if entry.conn.poll():
+                entry.message = entry.conn.recv()
+                return entry.message is not None
+        except (EOFError, OSError):
+            pass
+        return False
+
+    def _envelope_from_message(self, entry: _Attempt) -> ResultEnvelope:
+        status, value, stats, error, seconds = entry.message
+        return ResultEnvelope(
+            task_id=entry.task.task_id,
+            status=status,
+            value=value,
+            error=error,
+            attempts=entry.attempt,
+            seconds=seconds,
+            stats=stats,
+        )
+
+    def _reap(self, entry: _Attempt, force: bool) -> None:
+        """Make sure the worker is gone and its pipe is closed."""
+        process = entry.process
+        if force and process.is_alive():
+            process.terminate()
+            process.join(REAP_GRACE_SECONDS)
+            if process.is_alive():
+                process.kill()
+        process.join()
+        try:
+            entry.conn.close()
+        except OSError:
+            pass
+
+
+def default_jobs() -> int:
+    """A sensible worker count: every core, at least one."""
+    return max(1, os.cpu_count() or 1)

@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Regression differ for benchmark ``results.json`` payloads.
+
+Compares two result files (``{experiment: {case: {column: value}}}``, as
+written by ``benchmarks/conftest.py``) and reports per-column changes:
+
+* **timing columns** (``*_s``, ``seconds``) are tolerance-gated: a value
+  is a regression only when it exceeds ``baseline * (1 + tolerance)``;
+  improvements are reported but never fail.  Rate columns (``*per_s``,
+  higher is better) are gated in the opposite direction.
+* **paper_*** columns are transcribed constants and are skipped.
+* **other numeric columns** (node counts, iterations, cache hit rates)
+  come from deterministic pure-Python runs, so any change is reported;
+  by default a change fails the comparison (use ``--lax-counters`` to
+  make them informational).
+* cases or experiments present in the baseline but missing from the
+  current payload are failures; brand-new cases are informational.
+
+Exit status: 0 — no regressions; 1 — regressions found; 2 — bad usage
+or unreadable input.
+
+Examples::
+
+    python benchmarks/compare.py baseline.json results.json
+    python benchmarks/compare.py a.json b.json --tolerance 0.5 \
+        --tolerance table1=1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_TOLERANCE = 0.25  # 25% — generous; CI boxes are noisy.
+
+
+def is_timing_column(name: str) -> bool:
+    return (name.endswith("_s") or name == "seconds") and not is_rate_column(name)
+
+
+def is_rate_column(name: str) -> bool:
+    return name.endswith("per_s")
+
+
+def is_paper_column(name: str) -> bool:
+    return name.startswith("paper_")
+
+
+@dataclass
+class Finding:
+    """One observed difference between baseline and current."""
+
+    experiment: str
+    case: str
+    column: str
+    kind: str  # regression | improvement | drift | missing | new
+    detail: str
+    fatal: bool
+
+    def format(self) -> str:
+        marker = "FAIL" if self.fatal else "info"
+        return (
+            f"[{marker}] {self.experiment}/{self.case}"
+            + (f".{self.column}" if self.column else "")
+            + f": {self.kind} — {self.detail}"
+        )
+
+
+@dataclass
+class Comparison:
+    findings: List[Finding] = field(default_factory=list)
+    cells: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return any(f.fatal for f in self.findings)
+
+    def add(self, *args, **kwargs) -> None:
+        self.findings.append(Finding(*args, **kwargs))
+
+
+def _tolerance_for(
+    experiment: str, default: float, overrides: Dict[str, float]
+) -> float:
+    return overrides.get(experiment, default)
+
+
+def compare_results(
+    baseline: Dict,
+    current: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    per_experiment: Optional[Dict[str, float]] = None,
+    lax_counters: bool = False,
+) -> Comparison:
+    """Diff two results payloads; see the module docstring for rules."""
+    per_experiment = per_experiment or {}
+    out = Comparison()
+    for experiment, base_rows in sorted(baseline.items()):
+        cur_rows = current.get(experiment)
+        if cur_rows is None:
+            out.add(experiment, "*", "", "missing",
+                    "experiment absent from current payload", True)
+            continue
+        tol = _tolerance_for(experiment, tolerance, per_experiment)
+        for case, base_cols in sorted(base_rows.items()):
+            cur_cols = cur_rows.get(case)
+            if cur_cols is None:
+                out.add(experiment, case, "", "missing",
+                        "case absent from current payload", True)
+                continue
+            for column, base_val in sorted(base_cols.items()):
+                if is_paper_column(column):
+                    continue
+                if column not in cur_cols:
+                    out.add(experiment, case, column, "missing",
+                            "column absent from current payload", True)
+                    continue
+                cur_val = cur_cols[column]
+                out.cells += 1
+                _compare_cell(
+                    out, experiment, case, column,
+                    base_val, cur_val, tol, lax_counters,
+                )
+    for experiment, cur_rows in sorted(current.items()):
+        base_rows = baseline.get(experiment)
+        if base_rows is None:
+            out.add(experiment, "*", "", "new",
+                    "experiment not in baseline", False)
+            continue
+        for case in sorted(set(cur_rows) - set(base_rows)):
+            out.add(experiment, case, "", "new", "case not in baseline", False)
+    return out
+
+
+def _compare_cell(
+    out: Comparison,
+    experiment: str,
+    case: str,
+    column: str,
+    base_val,
+    cur_val,
+    tol: float,
+    lax_counters: bool,
+) -> None:
+    if not isinstance(base_val, (int, float)) or isinstance(base_val, bool):
+        if base_val != cur_val:
+            out.add(experiment, case, column, "drift",
+                    f"{base_val!r} -> {cur_val!r}", not lax_counters)
+        return
+    if not isinstance(cur_val, (int, float)):
+        out.add(experiment, case, column, "drift",
+                f"{base_val!r} -> non-numeric {cur_val!r}", True)
+        return
+    if is_timing_column(column):
+        if base_val > 0 and cur_val > base_val * (1.0 + tol):
+            out.add(
+                experiment, case, column, "regression",
+                f"{base_val:.4g}s -> {cur_val:.4g}s "
+                f"(+{(cur_val / base_val - 1.0) * 100.0:.0f}%, "
+                f"tolerance {tol * 100.0:.0f}%)",
+                True,
+            )
+        elif base_val > 0 and cur_val < base_val / (1.0 + tol):
+            out.add(
+                experiment, case, column, "improvement",
+                f"{base_val:.4g}s -> {cur_val:.4g}s", False,
+            )
+        return
+    if is_rate_column(column):
+        if base_val > 0 and cur_val < base_val / (1.0 + tol):
+            out.add(
+                experiment, case, column, "regression",
+                f"{base_val:.4g}/s -> {cur_val:.4g}/s "
+                f"(tolerance {tol * 100.0:.0f}%)",
+                True,
+            )
+        elif base_val > 0 and cur_val > base_val * (1.0 + tol):
+            out.add(
+                experiment, case, column, "improvement",
+                f"{base_val:.4g}/s -> {cur_val:.4g}/s", False,
+            )
+        return
+    # Deterministic counter (node counts, iterations, hit rates, ...).
+    if base_val != cur_val:
+        out.add(
+            experiment, case, column, "drift",
+            f"{base_val} -> {cur_val}", not lax_counters,
+        )
+
+
+def _parse_tolerances(
+    values: List[str],
+) -> Tuple[float, Dict[str, float]]:
+    default = DEFAULT_TOLERANCE
+    per_experiment: Dict[str, float] = {}
+    for text in values:
+        if "=" in text:
+            name, _, raw = text.partition("=")
+            per_experiment[name] = float(raw)
+        else:
+            default = float(text)
+    return default, per_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="compare.py",
+        description="Diff two benchmark results.json payloads.",
+    )
+    parser.add_argument("baseline", help="baseline results.json")
+    parser.add_argument("current", help="current results.json")
+    parser.add_argument(
+        "--tolerance", action="append", default=[], metavar="VAL|EXP=VAL",
+        help=(
+            "relative tolerance for timing/rate columns, as a fraction "
+            "(0.25 = 25%%, the default); EXPERIMENT=VAL sets a "
+            "per-experiment override; may repeat"
+        ),
+    )
+    parser.add_argument(
+        "--lax-counters", action="store_true",
+        help="report counter drift without failing on it",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only the final summary line",
+    )
+    opts = parser.parse_args(argv)
+    try:
+        with open(opts.baseline) as handle:
+            baseline = json.load(handle)
+        with open(opts.current) as handle:
+            current = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        default, per_experiment = _parse_tolerances(opts.tolerance)
+    except ValueError as exc:
+        print(f"error: bad --tolerance: {exc}", file=sys.stderr)
+        return 2
+    result = compare_results(
+        baseline, current,
+        tolerance=default,
+        per_experiment=per_experiment,
+        lax_counters=opts.lax_counters,
+    )
+    if not opts.quiet:
+        for finding in result.findings:
+            print(finding.format())
+    regressions = sum(1 for f in result.findings if f.fatal)
+    print(
+        f"compare: {result.cells} cells, "
+        f"{len(result.findings)} finding(s), {regressions} fatal"
+    )
+    return 1 if result.failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,12 @@ from __future__ import annotations
 import sys
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.trace.tracer import Tracer
+
+#: Shared disabled tracer; replaced per-manager via the ``tracer``
+#: attribute when structured tracing is on (see repro.trace).
+_NULL_TRACER = Tracer(enabled=False)
+
 FALSE = 0
 TRUE = 1
 
@@ -107,6 +113,8 @@ class BDD:
         self._nodes_since_gc = 0
         # op -> [lookups, hits] for the computed cache.
         self._op_stats: Dict[str, List[int]] = {op: [0, 0] for op in CACHED_OPS}
+        # Structured event sink (GC sweeps, cache evictions, reorders).
+        self.tracer: Tracer = _NULL_TRACER
 
     # ------------------------------------------------------------------
     # Variables and ordering
@@ -237,8 +245,13 @@ class BDD:
         """Insert into the computed cache, honouring ``cache_limit``."""
         cache = self._cache
         if self.cache_limit is not None and len(cache) >= self.cache_limit:
+            dropped = len(cache)
             cache.clear()
             self.cache_evictions += 1
+            self.tracer.instant(
+                "bdd.cache_evict", cat="bdd",
+                dropped=dropped, evictions=self.cache_evictions,
+            )
         cache[key] = value
 
     def _ensure_depth(self) -> None:
@@ -1073,6 +1086,11 @@ class BDD:
         self.gc_count += 1
         self._gc_pending = False
         self._nodes_since_gc = 0
+        self.tracer.instant(
+            "bdd.gc", cat="bdd",
+            freed=freed, live=len(self), roots=len(self._roots),
+            runs=self.gc_count,
+        )
         return freed
 
     def maybe_gc(self, extra_roots: Iterable[int] = ()) -> int:

@@ -135,6 +135,7 @@ def reorder(
     if sorted(new_order) != list(range(src.var_count)):
         raise ValueError("new_order must be a permutation of all variables")
     dst = BDD()
+    dst.tracer = src.tracer  # keep the trace timeline across rebuilds
     # Declare variables with identical indices (declaration order), then
     # install the requested order.
     for var in range(src.var_count):
@@ -185,22 +186,30 @@ def sift(
     order = list(src.order)
     best_size = shared_size_under(src, order, roots)
     nvars = len(order)
-    for _ in range(max_rounds):
-        improved = False
-        for var in population_order(src):
-            pos = order.index(var)
-            step = max(1, nvars // (candidates_per_var + 1))
-            targets = {0, nvars - 1, max(0, pos - step), min(nvars - 1, pos + step)}
-            targets.discard(pos)
-            for target in sorted(targets):
-                candidate = list(order)
-                candidate.remove(var)
-                candidate.insert(target, var)
-                size = shared_size_under(src, candidate, roots)
-                if size < best_size:
-                    best_size = size
-                    order = candidate
-                    improved = True
-        if not improved:
-            break
+    with src.tracer.span(
+        "bdd.sift", cat="bdd", variables=nvars, start_size=best_size
+    ) as span:
+        for _ in range(max_rounds):
+            improved = False
+            for var in population_order(src):
+                pos = order.index(var)
+                step = max(1, nvars // (candidates_per_var + 1))
+                targets = {0, nvars - 1, max(0, pos - step), min(nvars - 1, pos + step)}
+                targets.discard(pos)
+                for target in sorted(targets):
+                    candidate = list(order)
+                    candidate.remove(var)
+                    candidate.insert(target, var)
+                    size = shared_size_under(src, candidate, roots)
+                    if size < best_size:
+                        src.tracer.instant(
+                            "bdd.sift_move", cat="bdd",
+                            var=src.var_name(var), to=target, size=size,
+                        )
+                        best_size = size
+                        order = candidate
+                        improved = True
+            if not improved:
+                break
+        span.add(final_size=best_size)
     return reorder(src, order, roots)

@@ -33,6 +33,7 @@ from repro.lc import check_containment
 from repro.network import SymbolicFsm
 from repro.pif import PifFile, parse_pif_file
 from repro.sim import Simulator
+from repro.trace import Tracer, summary as trace_summary, write_trace
 from repro.verilog import compile_verilog
 
 
@@ -48,10 +49,12 @@ class HsisShell:
         auto_gc: Optional[int] = None,
         cache_limit: Optional[int] = None,
         show_stats: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.auto_gc = auto_gc
         self.cache_limit = cache_limit
         self.show_stats = show_stats
+        self.tracer = tracer
         self.design = None
         self.flat = None
         self.fsm: Optional[SymbolicFsm] = None
@@ -109,7 +112,8 @@ class HsisShell:
 
     def _make_fsm(self, flat) -> SymbolicFsm:
         return SymbolicFsm(
-            flat, auto_gc=self.auto_gc, cache_limit=self.cache_limit
+            flat, auto_gc=self.auto_gc, cache_limit=self.cache_limit,
+            tracer=self.tracer,
         )
 
     def _after_load(self) -> str:
@@ -505,6 +509,13 @@ def _print_final_stats(shell: HsisShell) -> None:
         print(shell.fsm.stats.format())
 
 
+def _write_trace_file(tracer: Optional[Tracer], path: Optional[str]) -> None:
+    if tracer is None or path is None:
+        return
+    fmt = write_trace(tracer, path)
+    print(f"trace: wrote {len(tracer)} events to {path} ({fmt})")
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
@@ -549,8 +560,17 @@ def _fuzz_main(argv: List[str]) -> int:
         "--jobs", type=_positive_int, default=1, metavar="N",
         help="shard the seed range across N worker processes (default 1)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help=(
+            "record a structured event trace (.jsonl, .txt summary, or "
+            "Chrome/Perfetto JSON by extension)"
+        ),
+    )
     opts = parser.parse_args(argv)
     stats = EngineStats()
+    if opts.trace:
+        stats.tracer = Tracer()
 
     def progress(report) -> None:
         if not report.ok:
@@ -581,6 +601,7 @@ def _fuzz_main(argv: List[str]) -> int:
     print(sweep.summary())
     if opts.stats:
         print(stats.format())
+    _write_trace_file(stats.tracer if opts.trace else None, opts.trace)
     return 0 if sweep.ok else 1
 
 
@@ -611,6 +632,13 @@ def _check_main(argv: List[str]) -> int:
         "--stats", action="store_true",
         help="print aggregate engine statistics after the run",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help=(
+            "record a structured event trace (.jsonl, .txt summary, or "
+            "Chrome/Perfetto JSON by extension)"
+        ),
+    )
     opts = parser.parse_args(argv)
     try:
         if opts.design.endswith(".v"):
@@ -627,6 +655,8 @@ def _check_main(argv: List[str]) -> int:
         print("error: no CTL properties in the PIF file", file=sys.stderr)
         return 2
     stats = EngineStats()
+    if opts.trace:
+        stats.tracer = Tracer()
     verdicts = check_properties(
         flat,
         pif.ctl_props,
@@ -648,7 +678,95 @@ def _check_main(argv: List[str]) -> int:
     )
     if opts.stats:
         print(stats.format())
+    _write_trace_file(stats.tracer if opts.trace else None, opts.trace)
     return 0 if passed == len(verdicts) else 1
+
+
+def _load_profile_design(target: str, pif_path: Optional[str]):
+    """Resolve a ``profile`` target to ``(name, flat model, pif)``.
+
+    ``gallery:NAME`` (or any bare shipped-design name) loads one of the
+    built-in benchmarks with its bundled properties; a ``.mv``/``.v``
+    path loads a design from disk with an optional ``--pif`` file.
+    """
+    from repro.models import get_spec
+
+    name = target[len("gallery:"):] if target.startswith("gallery:") else target
+    if not (target.endswith(".mv") or target.endswith(".v")):
+        spec = get_spec(name)
+        return spec.name, spec.flat(), spec.pif
+    if target.endswith(".v"):
+        with open(target) as handle:
+            design = compile_verilog(handle.read())
+    else:
+        design = parse_blifmv_file(target)
+    pif = parse_pif_file(pif_path) if pif_path else None
+    return design.root, flatten(design), pif
+
+
+def _profile_main(argv: List[str]) -> int:
+    """``hsis profile`` — run the pipeline under a tracer and report."""
+    parser = argparse.ArgumentParser(
+        prog="hsis profile",
+        description=(
+            "Run encode -> build_tr -> reach (and model checking when "
+            "properties are available) with structured tracing enabled, "
+            "print the span-tree summary, and optionally export the "
+            "timeline for Perfetto."
+        ),
+    )
+    parser.add_argument(
+        "design",
+        help="a .mv/.v file, or a shipped benchmark (e.g. gallery:traffic)",
+    )
+    parser.add_argument(
+        "--pif", default=None, metavar="FILE",
+        help="PIF properties to check (file designs only; gallery designs "
+             "bring their own)",
+    )
+    parser.add_argument(
+        "--method", default="greedy", metavar="M",
+        help="early-quantification schedule (greedy|linear|monolithic)",
+    )
+    parser.add_argument(
+        "--partitioned", action="store_true",
+        help="use the partitioned image (never build the monolithic T)",
+    )
+    parser.add_argument(
+        "--no-mc", action="store_true",
+        help="skip model checking even when properties are available",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write the raw trace (.jsonl / .txt / Chrome JSON)",
+    )
+    opts = parser.parse_args(argv)
+    try:
+        name, flat, pif = _load_profile_design(opts.design, opts.pif)
+    except (OSError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    fsm = SymbolicFsm(flat, tracer=tracer)
+    if not opts.partitioned:
+        fsm.build_transition(method=opts.method)
+    reach = fsm.reachable(partitioned=opts.partitioned)
+    print(
+        f"profile {name}: {fsm.count_states(reach.reached)} states reached "
+        f"in {reach.iterations} iterations ({reach.seconds:.2f}s)"
+    )
+    if pif is not None and pif.ctl_props and not opts.no_mc:
+        checker = ModelChecker(
+            fsm, fairness=pif.bind_fairness(fsm), reached=reach.reached
+        )
+        for prop_name, formula in pif.ctl_props:
+            result = checker.check(formula)
+            verdict = "passed" if result.holds else "FAILED"
+            print(f"mc {prop_name}: {verdict} ({result.seconds:.2f}s)")
+    print(trace_summary(tracer, title=f"trace summary ({name})"))
+    print(fsm.stats.format())
+    _write_trace_file(tracer, opts.trace)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -658,6 +776,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fuzz_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hsis", description="HSIS reproduction shell"
     )
@@ -674,11 +794,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache-limit", type=_positive_int, default=None, metavar="N",
         help="bound the BDD computed cache to N entries",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help=(
+            "record a structured event trace of every engine run "
+            "(.jsonl, .txt summary, or Chrome/Perfetto JSON by extension)"
+        ),
+    )
     opts = parser.parse_args(argv)
+    tracer = Tracer() if opts.trace else None
     shell = HsisShell(
         auto_gc=opts.auto_gc,
         cache_limit=opts.cache_limit,
         show_stats=opts.stats,
+        tracer=tracer,
     )
     if opts.script:
         try:
@@ -693,6 +822,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
         _print_final_stats(shell)
+        _write_trace_file(tracer, opts.trace)
         return 0
     print("HSIS reproduction shell — 'help' lists commands, ctrl-D exits")
     while True:
@@ -701,6 +831,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except EOFError:
             print()
             _print_final_stats(shell)
+            _write_trace_file(tracer, opts.trace)
             return 0
         try:
             output = shell.execute(line)

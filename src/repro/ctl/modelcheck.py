@@ -238,28 +238,50 @@ class ModelChecker:
 
     def eu(self, hold: int, target: int) -> int:
         bdd = self.bdd
+        tracer = self.stats.tracer
         target = bdd.and_(target, self.fair_states())
         reach = bdd.and_(target, self.space)
+        iteration = 0
         while True:
             step = bdd.and_(hold, self.graph.pre(reach))
             new = self._dc(bdd.or_(reach, bdd.and_(step, self.space)))
+            if tracer.enabled:
+                tracer.instant(
+                    "mc.eu_iter", cat="mc",
+                    iteration=iteration,
+                    reach_nodes=bdd.size(new),
+                    delta_nodes=bdd.size(bdd.diff(new, reach)),
+                    converged=new == reach,
+                )
             if new == reach:
                 return reach
             reach = new
+            iteration += 1
             # Safe point: everything the fixpoint holds is passed along.
             bdd.maybe_gc(extra_roots=[hold, target, reach])
 
     def eg(self, states: int) -> int:
         bdd = self.bdd
+        tracer = self.stats.tracer
         states = bdd.and_(states, self.space)
         if self.has_fairness:
             return all_fair_states(self.graph, self.normalized, states)
         z = states
+        iteration = 0
         while True:
             nz = bdd.and_(z, self.graph.pre(z))
+            if tracer.enabled:
+                tracer.instant(
+                    "mc.eg_iter", cat="mc",
+                    iteration=iteration,
+                    z_nodes=bdd.size(nz),
+                    delta_nodes=bdd.size(bdd.diff(z, nz)),
+                    converged=nz == z,
+                )
             if nz == z:
                 return z
             z = nz
+            iteration += 1
             bdd.maybe_gc(extra_roots=[states, z])
 
     # ------------------------------------------------------------------
@@ -307,6 +329,10 @@ class ModelChecker:
         def observer(depth: int, frontier: int) -> None:
             if bdd.diff(bdd.and_(frontier, self.space), good) != bdd.false:
                 bad_depth.append(depth)
+                if self.stats.tracer.enabled:
+                    self.stats.tracer.instant(
+                        "mc.early_fail", cat="mc", depth=depth
+                    )
                 raise _EarlyFailure()
 
         try:

@@ -128,8 +128,14 @@ def _check_containment(
         # periodically (most bugs surface within the first few steps, §5.4).
         if not first_hit and depth % early_fail_interval != 0:
             return
+        if fsm.stats.tracer.enabled:
+            fsm.stats.tracer.instant(
+                "lc.early_check", cat="lc", depth=depth, first_hit=first_hit
+            )
         scc = early_violation(graph, sys_norm, reached_acc[0], doomed_bdd)
         if scc is not None:
+            if fsm.stats.tracer.enabled:
+                fsm.stats.tracer.instant("lc.early_stop", cat="lc", depth=depth)
             raise _EarlyStop(scc, depth)
 
     try:

@@ -27,8 +27,16 @@ from repro.bdd.manager import BDD, BddError
 from repro.bdd.mdd import MddManager, MvVar
 from repro.blifmv.ast import Model
 from repro.network.encode import NEXT_SUFFIX, EncodedNetwork, LatchVars, encode
-from repro.network.quantify import Conjunct, QuantifyResult, multiply_and_quantify
+from repro.network.quantify import (
+    Conjunct,
+    ImageSchedule,
+    QuantifyResult,
+    execute_schedule,
+    multiply_and_quantify,
+    plan_schedule,
+)
 from repro.perf import EngineStats
+from repro.trace.tracer import Tracer
 
 GC_NODE_THRESHOLD = 2_000_000
 
@@ -53,8 +61,11 @@ class SymbolicFsm:
         order_method: str = "affinity",
         auto_gc: Optional[int] = None,
         cache_limit: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.stats = EngineStats()
+        if tracer is not None:
+            self.stats.tracer = tracer
         with self.stats.phase("encode"):
             self.network: EncodedNetwork = encode(
                 model,
@@ -65,12 +76,18 @@ class SymbolicFsm:
         self.mdd: MddManager = self.network.mdd
         self.bdd: BDD = self.mdd.bdd
         self.stats.bdd = self.bdd
+        self.bdd.tracer = self.stats.tracer
         self.latches: List[LatchVars] = list(self.network.latches)
         self.conjuncts: List[Conjunct] = list(self.network.conjuncts)
         self.init: int = self.network.init
         self.trans: Optional[int] = None
         self.quantify_result: Optional[QuantifyResult] = None
         self._frozen = False
+        # Partitioned-image schedule, planned once and replayed every
+        # iteration; invalidated whenever the conjunct pool changes.
+        self._part_plan: Optional[ImageSchedule] = None
+        # Watermark gating full GC sweeps inside reachable(); see there.
+        self._hard_gc_rearm = 0
         # Everything the FSM holds long-term must be a GC root so auto-GC
         # at engine safe points can never sweep it.
         self.bdd.register_root("fsm.init", self.init)
@@ -143,6 +160,7 @@ class SymbolicFsm:
         )
         self.init = self.bdd.and_(self.init, x.literal(list(initial)))
         self.bdd.register_root("fsm.init", self.init)
+        self._part_plan = None
         return x, y
 
     def add_conjunct(self, node: int, label: str) -> None:
@@ -153,6 +171,7 @@ class SymbolicFsm:
             Conjunct(node=node, support=frozenset(self.bdd.support(node)), label=label)
         )
         self._register_conjunct_roots()
+        self._part_plan = None
 
     # ------------------------------------------------------------------
     # Transition relation
@@ -205,24 +224,56 @@ class SymbolicFsm:
         primed = self.bdd.rename(states, self.x_to_y())
         return self.bdd.and_exists(t, primed, self.y_cube())
 
+    def partition_schedule(self) -> ImageSchedule:
+        """The (cached) greedy schedule for partitioned images.
+
+        The pool, the quantify set and the elimination order depend only
+        on the conjunct supports — not on the frontier's value — so the
+        schedule is planned once and replayed every BFS iteration.  The
+        frontier slot is planned with the conservative support
+        ``x_bits`` (a superset of any concrete frontier's support, which
+        keeps early quantification sound).  The cache is invalidated by
+        :meth:`add_conjunct` / :meth:`add_state_var`.
+        """
+        if self._part_plan is None:
+            keep = set(self.y_bits())
+            quantify = set()
+            for c in self.conjuncts:
+                quantify |= set(c.support)
+            quantify |= set(self.x_bits())
+            quantify -= keep
+            supports = [c.support for c in self.conjuncts]
+            supports.append(frozenset(self.x_bits()))
+            self._part_plan = plan_schedule(supports, quantify)
+            self.stats.bump("partitioned_plans_built")
+            if self.stats.tracer.enabled:
+                self.stats.tracer.instant(
+                    "fsm.partition_plan", cat="fsm",
+                    conjuncts=len(self.conjuncts),
+                    steps=len(self._part_plan.steps),
+                )
+        return self._part_plan
+
     def image_partitioned(self, states: int) -> int:
         """Forward image straight from the conjunct list (no monolithic T).
 
         Implements the paper's future-work item 4 (partitioned transition
         relations): the reached-state set is computed without ever forming
-        the product machine.
+        the product machine.  The multiply/quantify schedule is planned
+        once (:meth:`partition_schedule`) and only the frontier conjunct
+        changes between calls.
         """
-        keep = set(self.y_bits())
-        quantify = set()
-        for c in self.conjuncts:
-            quantify |= set(c.support)
-        quantify |= set(self.x_bits())
-        quantify -= keep
-        pool = list(self.conjuncts) + [
-            Conjunct(node=states, support=frozenset(self.bdd.support(states)),
-                     label="frontier")
-        ]
-        result = multiply_and_quantify(self.bdd, pool, quantify, method="greedy")
+        plan = self.partition_schedule()
+        nodes = [c.node for c in self.conjuncts]
+        nodes.append(states)
+        result = execute_schedule(self.bdd, nodes, plan)
+        self.stats.bump("partitioned_images")
+        if self.stats.tracer.enabled:
+            self.stats.tracer.instant(
+                "fsm.image_partitioned", cat="fsm",
+                plan_steps=len(plan.steps),
+                peak_size=result.peak_size,
+            )
         return self.bdd.rename(result.node, self.y_to_x())
 
     # ------------------------------------------------------------------
@@ -246,8 +297,10 @@ class SymbolicFsm:
         tells whether a fixpoint was reached.
         """
         bdd = self.bdd
+        tracer = self.stats.tracer
         if not partitioned:
             self.require_transition()
+        self._hard_gc_rearm = 0
         with self.stats.phase("reach") as timer:
             current = self.init if init is None else init
             reached = current
@@ -273,10 +326,35 @@ class SymbolicFsm:
                 reached = bdd.or_(reached, frontier)
                 rings.append(frontier)
                 bdd.register_root("fsm.reached", reached)
+                if tracer.enabled:
+                    tracer.instant(
+                        "reach.ring", cat="reach",
+                        depth=iterations,
+                        frontier_nodes=bdd.size(frontier),
+                        reached_nodes=bdd.size(reached),
+                        frontier_states=self.count_states(frontier),
+                        reached_states=self.count_states(reached),
+                    )
                 # Safe point: every live node the loop holds is either a
                 # registered root or in extra_roots below.
-                if len(bdd) > GC_NODE_THRESHOLD:
-                    bdd.gc(extra_roots=rings + [frontier, current])
+                if len(bdd) > GC_NODE_THRESHOLD and len(bdd) >= self._hard_gc_rearm:
+                    freed = bdd.gc(extra_roots=rings + [frontier, current])
+                    after = len(bdd)
+                    # A live set permanently above the threshold used to
+                    # trigger a full sweep on *every* iteration even when
+                    # the previous sweep freed almost nothing.  Re-arm
+                    # only once the table has regrown past the survivors
+                    # by half, so sweeps track actual garbage build-up.
+                    self._hard_gc_rearm = max(
+                        GC_NODE_THRESHOLD + 1, after + after // 2
+                    )
+                    self.stats.bump("reach_hard_gc")
+                    self.stats.bump("reach_hard_gc_freed", freed)
+                    if tracer.enabled:
+                        tracer.instant(
+                            "reach.hard_gc", cat="reach",
+                            depth=iterations, freed=freed, live=after,
+                        )
                 else:
                     freed = bdd.maybe_gc(
                         extra_roots=rings + [frontier, current]

@@ -19,13 +19,22 @@ schedulers ([Hojati-Krishnan-Brayton, UCB M94/11]); we provide three:
 
 All schedulers record the peak intermediate size so benchmarks can
 compare memory behaviour, and return the same final BDD (the product
-with all requested variables quantified out).
+with all requested variables quantified out).  Every executed
+:class:`ScheduleStep` also emits a ``quantify.step`` trace instant when
+the manager's tracer is enabled.
+
+For image computations that run the *same* pool against a changing
+frontier every iteration (partitioned reachability), the schedule can be
+computed once from the supports alone (:func:`plan_schedule`) and then
+replayed cheaply against fresh BDDs (:func:`execute_schedule`) — the
+greedy cost function only ever looks at supports, so planning needs no
+BDD operations at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.bdd.manager import BDD
 
@@ -86,11 +95,18 @@ def multiply_and_quantify(
     ]
     if not pool:
         return QuantifyResult(node=bdd.true, peak_size=1)
-    if method == "monolithic":
-        return _monolithic(bdd, pool, quantify)
-    if method == "linear":
-        return _linear(bdd, pool, quantify)
-    return _greedy(bdd, pool, quantify)
+    with bdd.tracer.span(
+        "quantify", cat="quantify",
+        method=method, conjuncts=len(pool), variables=len(quantify),
+    ) as span:
+        if method == "monolithic":
+            result = _monolithic(bdd, pool, quantify)
+        elif method == "linear":
+            result = _linear(bdd, pool, quantify)
+        else:
+            result = _greedy(bdd, pool, quantify)
+        span.add(peak_size=result.peak_size, result_size=bdd.size(result.node))
+    return result
 
 
 def _safe_point(bdd: BDD, pool: Iterable[Conjunct], *extra: int) -> None:
@@ -98,33 +114,41 @@ def _safe_point(bdd: BDD, pool: Iterable[Conjunct], *extra: int) -> None:
     bdd.maybe_gc(extra_roots=[c.node for c in pool] + list(extra))
 
 
+def _record_step(
+    bdd: BDD,
+    result: QuantifyResult,
+    combined: Tuple[str, ...],
+    quantified: Tuple[int, ...],
+    size: int,
+) -> None:
+    """Append one :class:`ScheduleStep` and mirror it as a trace instant."""
+    result.steps.append(
+        ScheduleStep(combined=combined, quantified=quantified, result_size=size)
+    )
+    if bdd.tracer.enabled:
+        bdd.tracer.instant(
+            "quantify.step", cat="quantify",
+            combined=len(combined), quantified=len(quantified),
+            result_size=size, peak_size=result.peak_size,
+        )
+
+
 def _monolithic(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResult:
     result = QuantifyResult(node=bdd.true, peak_size=1)
     product = bdd.true
     for c in pool:
         product = bdd.and_(product, c.node)
-        result.peak_size = max(result.peak_size, bdd.size(product))
-        result.steps.append(
-            ScheduleStep(combined=(c.label,), quantified=(), result_size=bdd.size(product))
-        )
+        size = bdd.size(product)
+        result.peak_size = max(result.peak_size, size)
+        _record_step(bdd, result, (c.label,), (), size)
         _safe_point(bdd, pool, product)
     present = quantify & set(bdd.support(product))
     product = bdd.exist(sorted(present), product)
-    result.peak_size = max(result.peak_size, bdd.size(product))
-    result.steps.append(
-        ScheduleStep(combined=(), quantified=tuple(sorted(present)),
-                     result_size=bdd.size(product))
-    )
+    size = bdd.size(product)
+    result.peak_size = max(result.peak_size, size)
+    _record_step(bdd, result, (), tuple(sorted(present)), size)
     result.node = product
     return result
-
-
-def _quantifiable_now(
-    var: int, remaining: Sequence[Conjunct], current_support: Set[int]
-) -> bool:
-    if var in current_support:
-        return False
-    return all(var not in c.support for c in remaining)
 
 
 def _linear(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResult:
@@ -144,40 +168,49 @@ def _linear(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResul
         product_support = set(bdd.support(product))
         size = bdd.size(product)
         result.peak_size = max(result.peak_size, size)
-        result.steps.append(
-            ScheduleStep(combined=(c.label,), quantified=tuple(sorted(dying)),
-                         result_size=size)
-        )
+        _record_step(bdd, result, (c.label,), tuple(sorted(dying)), size)
         _safe_point(bdd, remaining, product)
     result.node = product
     return result
 
 
 def _greedy(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResult:
+    """Bucket elimination with an incremental var -> cluster index.
+
+    ``by_var`` maps each variable to the ids of the live conjuncts whose
+    support mentions it; it is updated on every merge, so picking the
+    cheapest variable inspects only the clusters that actually contain
+    it instead of rescanning the whole pool per pending variable
+    (previously O(|pending|² · |pool| · |support|) across a run).
+    Conjunct ids increase monotonically and ``table`` preserves
+    insertion order, which reproduces the original pool-order semantics
+    exactly (rest in input order, merged cluster appended).
+    """
     result = QuantifyResult(node=bdd.true, peak_size=1)
-    live: List[Conjunct] = list(pool)
-    pending = {
-        v for v in quantify if any(v in c.support for c in live)
-    }
+    table: Dict[int, Conjunct] = dict(enumerate(pool))
+    next_id = len(pool)
+    by_var: Dict[int, Set[int]] = {}
+    for cid, c in table.items():
+        for v in c.support:
+            by_var.setdefault(v, set()).add(cid)
+    pending = {v for v in quantify if by_var.get(v)}
     while pending:
         # Cheapest variable: smallest combined support of the cluster
         # that mentions it (ties broken by cluster size then var index).
         def cost(var: int) -> Tuple[int, int, int]:
-            cluster = [c for c in live if var in c.support]
             union: Set[int] = set()
-            for c in cluster:
-                union |= c.support
-            return (len(union), len(cluster), var)
+            for cid in by_var[var]:
+                union |= table[cid].support
+            return (len(union), len(by_var[var]), var)
 
         var = min(pending, key=cost)
-        cluster = [c for c in live if var in c.support]
-        rest = [c for c in live if var not in c.support]
+        cluster_ids = sorted(by_var[var])
+        cluster_id_set = set(cluster_ids)
+        cluster = [table[cid] for cid in cluster_ids]
         # Quantify var plus any pending variable entirely local to the cluster.
         local = {
-            v
-            for v in pending
-            if all(v not in c.support for c in rest)
-            and any(v in c.support for c in cluster)
+            v for v in pending
+            if by_var.get(v) and by_var[v] <= cluster_id_set
         }
         cluster.sort(key=lambda c: len(c.support))
         product = cluster[0].node
@@ -190,36 +223,184 @@ def _greedy(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResul
             product = bdd.exist(sorted(local), product)
         size = bdd.size(product)
         result.peak_size = max(result.peak_size, size)
-        result.steps.append(
-            ScheduleStep(
-                combined=tuple(c.label for c in cluster),
-                quantified=tuple(sorted(local)),
-                result_size=size,
-            )
+        _record_step(
+            bdd, result,
+            tuple(c.label for c in cluster), tuple(sorted(local)), size,
         )
         merged = Conjunct(
             node=product,
             support=frozenset(bdd.support(product)),
             label="(" + "*".join(c.label for c in cluster) + ")",
         )
-        live = rest + [merged]
+        # Incremental index update: retire the cluster, append the merge.
+        for cid in cluster_ids:
+            for v in table[cid].support:
+                ids = by_var[v]
+                ids.discard(cid)
+                if not ids:
+                    del by_var[v]
+            del table[cid]
+        table[next_id] = merged
+        for v in merged.support:
+            by_var.setdefault(v, set()).add(next_id)
+        next_id += 1
         pending -= local
-        pending = {v for v in pending if any(v in c.support for c in live)}
-        _safe_point(bdd, live)
+        pending = {v for v in pending if by_var.get(v)}
+        _safe_point(bdd, table.values())
     # Conjoin whatever is left (no quantifiable variables remain).
-    live.sort(key=lambda c: len(c.support))
+    live = sorted(table.values(), key=lambda c: len(c.support))
     product = bdd.true
     for c in live:
         product = bdd.and_(product, c.node)
         result.peak_size = max(result.peak_size, bdd.size(product))
     _safe_point(bdd, live, product)
     if live:
-        result.steps.append(
-            ScheduleStep(
-                combined=tuple(c.label for c in live),
-                quantified=(),
-                result_size=bdd.size(product),
+        _record_step(
+            bdd, result,
+            tuple(c.label for c in live), (), bdd.size(product),
+        )
+    result.node = product
+    return result
+
+
+# ----------------------------------------------------------------------
+# Reusable schedules (partitioned image computation)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One planned merge: conjoin ``merge`` slots, quantify ``quantify``.
+
+    ``merge`` lists input slots in execution order (smallest planned
+    support first, mirroring the greedy executor); the product lands in
+    slot ``result``.
+    """
+
+    merge: Tuple[int, ...]
+    quantify: Tuple[int, ...]
+    result: int
+
+
+@dataclass
+class ImageSchedule:
+    """A frozen greedy schedule, replayable against fresh conjunct BDDs.
+
+    ``inputs`` is the number of input slots; ``steps`` the planned
+    merges; ``tail`` the slots conjoined (without quantification) at the
+    end, in execution order.
+    """
+
+    inputs: int
+    steps: List[PlanStep]
+    tail: Tuple[int, ...]
+
+
+def plan_schedule(
+    supports: Sequence[FrozenSet[int]], quantify: Set[int]
+) -> ImageSchedule:
+    """Plan a greedy multiply-and-quantify from supports alone.
+
+    The greedy heuristic's cost function depends only on conjunct
+    supports, so the whole elimination order can be fixed without
+    touching a single BDD.  Planned supports of merged clusters are the
+    union minus the quantified variables — a superset of the true BDD
+    support, which keeps early quantification sound (a variable is only
+    scheduled once every conjunct that *could* mention it has been
+    merged; quantifying a variable absent from the product is the
+    identity).
+    """
+    table: Dict[int, FrozenSet[int]] = {
+        i: frozenset(s) for i, s in enumerate(supports)
+    }
+    next_slot = len(table)
+    by_var: Dict[int, Set[int]] = {}
+    for slot, support in table.items():
+        for v in support:
+            by_var.setdefault(v, set()).add(slot)
+    pending = {v for v in quantify if by_var.get(v)}
+    steps: List[PlanStep] = []
+    while pending:
+        def cost(var: int) -> Tuple[int, int, int]:
+            union: Set[int] = set()
+            for slot in by_var[var]:
+                union |= table[slot]
+            return (len(union), len(by_var[var]), var)
+
+        var = min(pending, key=cost)
+        cluster_ids = sorted(by_var[var])
+        cluster_id_set = set(cluster_ids)
+        local = {
+            v for v in pending
+            if by_var.get(v) and by_var[v] <= cluster_id_set
+        }
+        union: Set[int] = set()
+        for slot in cluster_ids:
+            union |= table[slot]
+        ordered = sorted(cluster_ids, key=lambda slot: len(table[slot]))
+        steps.append(
+            PlanStep(
+                merge=tuple(ordered),
+                quantify=tuple(sorted(local)),
+                result=next_slot,
             )
         )
+        merged = frozenset(union - local)
+        for slot in cluster_ids:
+            for v in table[slot]:
+                ids = by_var[v]
+                ids.discard(slot)
+                if not ids:
+                    del by_var[v]
+            del table[slot]
+        table[next_slot] = merged
+        for v in merged:
+            by_var.setdefault(v, set()).add(next_slot)
+        next_slot += 1
+        pending -= local
+        pending = {v for v in pending if by_var.get(v)}
+    tail = tuple(sorted(table, key=lambda slot: len(table[slot])))
+    return ImageSchedule(inputs=len(supports), steps=steps, tail=tail)
+
+
+def execute_schedule(
+    bdd: BDD, nodes: Sequence[int], schedule: ImageSchedule
+) -> QuantifyResult:
+    """Replay a planned schedule against concrete conjunct BDDs.
+
+    ``nodes[i]`` fills input slot ``i``; the slot count must match the
+    plan.  No scheduling decisions are made here — this is the cheap
+    per-iteration half of a plan-once/run-many partitioned image.
+    """
+    if len(nodes) != schedule.inputs:
+        raise ValueError(
+            f"schedule expects {schedule.inputs} conjuncts, got {len(nodes)}"
+        )
+    result = QuantifyResult(node=bdd.true, peak_size=1)
+    slots: Dict[int, int] = dict(enumerate(nodes))
+    for step in schedule.steps:
+        parts = [slots[i] for i in step.merge]
+        if len(parts) == 1:
+            product = bdd.exist(list(step.quantify), parts[0])
+        else:
+            product = parts[0]
+            for node in parts[1:-1]:
+                product = bdd.and_(product, node)
+                result.peak_size = max(result.peak_size, bdd.size(product))
+            product = bdd.and_exists(product, parts[-1], list(step.quantify))
+        size = bdd.size(product)
+        result.peak_size = max(result.peak_size, size)
+        _record_step(
+            bdd, result,
+            tuple(f"s{i}" for i in step.merge), step.quantify, size,
+        )
+        for i in step.merge:
+            del slots[i]
+        slots[step.result] = product
+        bdd.maybe_gc(extra_roots=list(slots.values()))
+    product = bdd.true
+    for i in schedule.tail:
+        product = bdd.and_(product, slots[i])
+        result.peak_size = max(result.peak_size, bdd.size(product))
+    bdd.maybe_gc(extra_roots=list(slots.values()) + [product])
     result.node = product
     return result

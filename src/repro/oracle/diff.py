@@ -293,7 +293,7 @@ def run_case(case: dict, seed: int, stats: EngineStats) -> List[Divergence]:
 
     # -- reachability --------------------------------------------------
     with stats.phase("fuzz.reach"):
-        fsm = SymbolicFsm(model)
+        fsm = SymbolicFsm(model, tracer=stats.tracer)
         fsm.build_transition(method=case["build_method"])
         reach = fsm.reachable(partitioned=case["partitioned"])
         sym_reached = decode_states(fsm, reach.reached, latch_names)
@@ -371,7 +371,7 @@ def run_case(case: dict, seed: int, stats: EngineStats) -> List[Divergence]:
     # -- language containment ------------------------------------------
     with stats.phase("fuzz.lc"):
         automaton = automaton_from_desc(case["automaton"])
-        lc_fsm = SymbolicFsm(model)
+        lc_fsm = SymbolicFsm(model, tracer=stats.tracer)
         lc_spec = fairness_spec_from_descs(lc_fsm, case["fairness"])
         lc = check_containment(
             lc_fsm, automaton, system_fairness=lc_spec,
@@ -520,7 +520,9 @@ def run_sweep(
     start = time.perf_counter()
     for i in range(trials):
         seed = seed0 + i
-        report = run_trial(seed, stats=stats, max_space=max_space, keep_case=True)
+        with stats.tracer.span("fuzz.trial", cat="fuzz", seed=seed) as span:
+            report = run_trial(seed, stats=stats, max_space=max_space, keep_case=True)
+            span.add(divergences=len(report.divergences))
         sweep.reports.append(report)
         if progress is not None:
             progress(report)

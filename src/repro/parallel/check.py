@@ -31,6 +31,7 @@ from repro.parallel.tasks import (
     TaskResult,
 )
 from repro.perf import EngineStats
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -59,11 +60,11 @@ class PropertyVerdict:
 
 
 def _check_property_worker(model, name: str, formula: Formula,
-                           fairness_decls) -> TaskResult:
+                           fairness_decls, trace: bool = False) -> TaskResult:
     """Worker body: one machine, one fairness binding, one property."""
     from repro.pif.parser import PifFile
 
-    fsm = SymbolicFsm(model)
+    fsm = SymbolicFsm(model, tracer=Tracer() if trace else None)
     fairness = None
     if fairness_decls:
         fairness = PifFile(fairness=list(fairness_decls)).bind_fairness(fsm)
@@ -115,12 +116,13 @@ def check_properties(
     process; otherwise each property becomes a pool task.
     """
     properties = list(properties)
+    trace = stats is not None and stats.tracer.enabled
     if (pool is None and jobs <= 1) or len(properties) < 2:
         verdicts = []
         for name, formula in properties:
             try:
                 result = _check_property_worker(
-                    model, name, formula, fairness_decls
+                    model, name, formula, fairness_decls, trace
                 )
             except Exception as exc:
                 verdicts.append(
@@ -146,13 +148,16 @@ def check_properties(
         Task(
             task_id=f"mc[{name}]",
             fn=_check_property_worker,
-            args=(model, name, formula, tuple(fairness_decls)),
+            args=(model, name, formula, tuple(fairness_decls), trace),
             timeout=timeout,
         )
         for name, formula in properties
     ]
     if pool is None:
-        pool = WorkerPool(jobs, timeout=timeout, retries=retries)
+        pool = WorkerPool(
+            jobs, timeout=timeout, retries=retries,
+            tracer=stats.tracer if stats is not None else None,
+        )
     envelopes = pool.run(job_tasks)
     verdicts = []
     for (name, formula), envelope in zip(properties, envelopes):

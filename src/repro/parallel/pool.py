@@ -47,6 +47,9 @@ from repro.parallel.tasks import (
     Task,
     TaskResult,
 )
+from repro.trace.tracer import Tracer
+
+_NULL_TRACER = Tracer(enabled=False)
 
 #: Grace period between SIGTERM and SIGKILL when reaping a worker.
 REAP_GRACE_SECONDS = 0.5
@@ -122,6 +125,10 @@ class WorkerPool:
         How many times a failed attempt is relaunched (0 = no retry).
     backoff:
         Base delay before a retry; doubles with each further attempt.
+    tracer:
+        Optional :class:`~repro.trace.tracer.Tracer`; when enabled the
+        pool emits ``pool.*`` instants for every task lifecycle event
+        (queued / start / retry / done / reaped).
     """
 
     def __init__(
@@ -131,11 +138,13 @@ class WorkerPool:
         retries: int = 1,
         backoff: float = 0.05,
         start_method: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, backoff)
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -154,15 +163,25 @@ class WorkerPool:
         envelope, as each task finishes (completion order).
         """
         tasks = list(tasks)
+        tracer = self.tracer
         final: Dict[int, ResultEnvelope] = {}
         ready: Deque[tuple] = deque(
             (task, index, 1) for index, task in enumerate(tasks)
         )
+        if tracer.enabled:
+            for task in tasks:
+                tracer.instant("pool.queued", cat="pool", task=task.task_id)
         delayed: List[tuple] = []  # (not_before, task, index, attempt)
         active: List[_Attempt] = []
 
         def finalize(index: int, envelope: ResultEnvelope) -> None:
             final[index] = envelope
+            if tracer.enabled:
+                tracer.instant(
+                    "pool.done", cat="pool",
+                    task=envelope.task_id, status=envelope.status,
+                    attempts=envelope.attempts, seconds=envelope.seconds,
+                )
             if progress is not None:
                 progress(envelope)
 
@@ -173,6 +192,12 @@ class WorkerPool:
             if envelope.ok or attempt.attempt > bound:
                 finalize(attempt.index, envelope)
             else:
+                if tracer.enabled:
+                    tracer.instant(
+                        "pool.retry", cat="pool",
+                        task=attempt.task.task_id,
+                        attempt=attempt.attempt, status=envelope.status,
+                    )
                 pause = self.backoff * (2 ** (attempt.attempt - 1))
                 delayed.append(
                     (time.monotonic() + pause, attempt.task,
@@ -283,6 +308,11 @@ class WorkerPool:
         # so no sibling inherits it: EOF detection (and thus crash
         # classification) stays prompt.
         send_conn.close()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "pool.start", cat="pool",
+                task=task.task_id, attempt=attempt, pid=process.pid,
+            )
         started = time.monotonic()
         limit = self._deadline_for(task)
         return _Attempt(
@@ -321,6 +351,11 @@ class WorkerPool:
         """Make sure the worker is gone and its pipe is closed."""
         process = entry.process
         if force and process.is_alive():
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "pool.reaped", cat="pool",
+                    task=entry.task.task_id, attempt=entry.attempt,
+                )
             process.terminate()
             process.join(REAP_GRACE_SECONDS)
             if process.is_alive():

@@ -29,6 +29,7 @@ from repro.oracle.diff import (
 from repro.parallel.pool import WorkerPool
 from repro.parallel.tasks import Task, TaskResult, shard_range
 from repro.perf import EngineStats
+from repro.trace.tracer import Tracer
 
 #: Shards per worker slot — small chunks keep the pool load-balanced
 #: without paying per-process overhead for every single seed.
@@ -41,9 +42,17 @@ def _sweep_chunk_worker(
     corpus_dir: Optional[str],
     shrink: bool,
     max_space: int,
+    trace: bool = False,
 ) -> TaskResult:
-    """Worker body: one contiguous sub-sweep, exactly the serial code."""
+    """Worker body: one contiguous sub-sweep, exactly the serial code.
+
+    With ``trace`` the worker records its own event timeline; the events
+    ride back to the parent inside the pickled :class:`EngineStats` and
+    are merged onto a per-worker tid lane.
+    """
     stats = EngineStats()
+    if trace:
+        stats.tracer = Tracer()
     report = run_sweep(
         count,
         seed0=seed0,
@@ -78,6 +87,7 @@ def run_sweep_parallel(
     this to tighten timeouts).
     """
     stats = stats if stats is not None else EngineStats()
+    trace = stats.tracer.enabled
     sweep = SweepReport(trials=trials, seed0=seed0)
     start = time.perf_counter()
     chunks = shard_range(seed0, trials, max(1, jobs) * CHUNKS_PER_JOB)
@@ -85,13 +95,15 @@ def run_sweep_parallel(
         Task(
             task_id=f"fuzz[{chunk_seed0}+{chunk_count}]",
             fn=_sweep_chunk_worker,
-            args=(chunk_count, chunk_seed0, corpus_dir, shrink, max_space),
+            args=(chunk_count, chunk_seed0, corpus_dir, shrink, max_space, trace),
             timeout=timeout,
         )
         for chunk_seed0, chunk_count in chunks
     ]
     if pool is None:
-        pool = WorkerPool(jobs, timeout=timeout, retries=retries)
+        pool = WorkerPool(
+            jobs, timeout=timeout, retries=retries, tracer=stats.tracer
+        )
     envelopes = pool.run(job_tasks)
     for (chunk_seed0, chunk_count), envelope in zip(chunks, envelopes):
         if envelope.ok:

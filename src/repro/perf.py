@@ -20,6 +20,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, TYPE_CHECKING
 
+from repro.trace.tracer import Tracer
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bdd.manager import BDD
 
@@ -51,16 +53,27 @@ class EngineStats:
     bdd: Optional["BDD"] = None
     phases: Dict[str, PhaseStat] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Structured event sink shared down the engine stack.  Disabled by
+    #: default (near-zero overhead); ``hsis --trace`` swaps in a live
+    #: :class:`~repro.trace.tracer.Tracer`.
+    tracer: Tracer = field(default_factory=Tracer.disabled)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseTimer]:
-        """Time a named phase; accumulates across repeated invocations."""
+        """Time a named phase; accumulates across repeated invocations.
+
+        Every phase is also a trace span, so the encode / build_tr /
+        reach / mc / lc intervals appear in exported timelines for free.
+        """
         timer = PhaseTimer(name)
+        span = self.tracer.span(name, cat="phase")
+        span.__enter__()
         start = time.perf_counter()
         try:
             yield timer
         finally:
             timer.seconds = time.perf_counter() - start
+            span.__exit__(None, None, None)
             stat = self.phases.setdefault(name, PhaseStat())
             stat.seconds += timer.seconds
             stat.calls += 1
@@ -88,6 +101,13 @@ class EngineStats:
             mine.calls += stat.calls
         for name, amount in other.counters.items():
             self.bump(name, amount)
+        # Fold worker trace events in on their own tid lane.  This works
+        # even when this collector's tracer is disabled, so traces
+        # survive the worker -> detached stats -> parent relay.  Engines
+        # that *share* a tracer (fsm created with tracer=stats.tracer)
+        # must not absorb it into itself.
+        if other.tracer is not self.tracer and other.tracer.events:
+            self.tracer.absorb(other.tracer)
 
     def snapshot(self) -> Dict[str, object]:
         """Flat dictionary of everything known right now."""

@@ -1,0 +1,36 @@
+"""Structured event tracing and profiling for the verification engine.
+
+See docs/observability.md for the event schema, the exporters, and how
+to view traces in Perfetto.
+"""
+
+from repro.trace.tracer import NULL_SPAN, Span, Tracer
+from repro.trace.export import (
+    load_chrome,
+    read_jsonl,
+    summary,
+    to_chrome,
+    validate_chrome,
+    write_chrome,
+    write_jsonl,
+    write_trace,
+)
+
+#: Shared disabled tracer — the default for every engine object.  Never
+#: enable this instance in place; create a fresh ``Tracer()`` instead.
+NULL_TRACER = Tracer(enabled=False)
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "load_chrome",
+    "read_jsonl",
+    "summary",
+    "to_chrome",
+    "validate_chrome",
+    "write_chrome",
+    "write_jsonl",
+    "write_trace",
+]

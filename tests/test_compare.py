@@ -1,0 +1,131 @@
+"""benchmarks/compare.py: tolerance gating and regression detection."""
+
+import copy
+import importlib.util
+import json
+import os
+import sys
+
+_COMPARE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "compare.py",
+)
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+compare = importlib.util.module_from_spec(_spec)
+sys.modules["bench_compare"] = compare  # dataclasses resolve via sys.modules
+_spec.loader.exec_module(compare)
+
+
+BASELINE = {
+    "table1": {
+        "philos": {
+            "read_s": 0.2,
+            "states": 28,
+            "peak_nodes": 9685,
+            "paper_states": 18,
+        },
+        "gigamax": {"read_s": 1.0, "states": 1024},
+    },
+    "fuzz_harness": {
+        "sweep/40": {"seconds": 10.0, "trials_per_s": 4.0},
+    },
+}
+
+
+def test_identical_payloads_pass():
+    result = compare.compare_results(BASELINE, copy.deepcopy(BASELINE))
+    assert not result.failed
+    assert result.findings == []
+    assert result.cells > 0
+
+
+def test_timing_within_tolerance_passes():
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["philos"]["read_s"] = 0.2 * 1.2  # +20% < 25%
+    result = compare.compare_results(BASELINE, current, tolerance=0.25)
+    assert not result.failed
+
+
+def test_timing_regression_flagged():
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["philos"]["read_s"] = 0.2 * 1.6  # +60% > 25%
+    result = compare.compare_results(BASELINE, current, tolerance=0.25)
+    assert result.failed
+    (finding,) = [f for f in result.findings if f.fatal]
+    assert finding.kind == "regression"
+    assert finding.column == "read_s"
+
+
+def test_timing_improvement_is_informational():
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["philos"]["read_s"] = 0.05
+    result = compare.compare_results(BASELINE, current)
+    assert not result.failed
+    assert any(f.kind == "improvement" for f in result.findings)
+
+
+def test_rate_column_gated_in_opposite_direction():
+    slower = copy.deepcopy(BASELINE)
+    slower["fuzz_harness"]["sweep/40"]["trials_per_s"] = 1.0  # throughput drop
+    assert compare.compare_results(BASELINE, slower).failed
+    faster = copy.deepcopy(BASELINE)
+    faster["fuzz_harness"]["sweep/40"]["trials_per_s"] = 8.0
+    assert not compare.compare_results(BASELINE, faster).failed
+
+
+def test_counter_drift_fails_by_default_but_not_lax():
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["philos"]["peak_nodes"] = 9999
+    assert compare.compare_results(BASELINE, current).failed
+    lax = compare.compare_results(BASELINE, current, lax_counters=True)
+    assert not lax.failed
+    assert any(f.kind == "drift" for f in lax.findings)
+
+
+def test_paper_columns_ignored():
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["philos"]["paper_states"] = 99999
+    assert not compare.compare_results(BASELINE, current).failed
+
+
+def test_missing_case_and_experiment_fail():
+    current = copy.deepcopy(BASELINE)
+    del current["table1"]["gigamax"]
+    assert compare.compare_results(BASELINE, current).failed
+    current = copy.deepcopy(BASELINE)
+    del current["fuzz_harness"]
+    assert compare.compare_results(BASELINE, current).failed
+
+
+def test_new_case_is_informational():
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["extra"] = {"states": 1}
+    result = compare.compare_results(BASELINE, current)
+    assert not result.failed
+    assert any(f.kind == "new" for f in result.findings)
+
+
+def test_per_experiment_tolerance_override():
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["philos"]["read_s"] = 0.2 * 1.6
+    tight = compare.compare_results(BASELINE, current, tolerance=0.25)
+    assert tight.failed
+    loose = compare.compare_results(
+        BASELINE, current, tolerance=0.25, per_experiment={"table1": 1.0}
+    )
+    assert not loose.failed
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    cur_path = tmp_path / "cur.json"
+    base_path.write_text(json.dumps(BASELINE))
+    cur_path.write_text(json.dumps(BASELINE))
+    assert compare.main([str(base_path), str(cur_path)]) == 0
+    regressed = copy.deepcopy(BASELINE)
+    regressed["table1"]["philos"]["read_s"] = 99.0
+    cur_path.write_text(json.dumps(regressed))
+    assert compare.main([str(base_path), str(cur_path)]) == 1
+    out = capsys.readouterr().out
+    assert "regression" in out
+    assert compare.main([str(base_path), str(tmp_path / "missing.json")]) == 2

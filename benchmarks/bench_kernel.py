@@ -1,0 +1,212 @@
+"""Kernel micro-benches: node economy on negation-heavy workloads.
+
+Complemented edges exist to make negation free: CTL's ``not``/``->``
+connectives, Streett edge-removal and containment products all negate
+state sets constantly, and a kernel that stores ``f`` and ``~f`` as
+disjoint subgraphs pays for every one of them twice.  These benches pin
+that cost down with deterministic workloads and record the numbers the
+complemented-edge kernel is supposed to move:
+
+* ``peak_nodes`` / ``final_nodes`` — node economy (the headline),
+* ``cache_hit`` and per-op hit rates — standardized ITE triples turn
+  equivalent ``and``/``or``/``ite`` calls into one cache line,
+* ``not_per_node`` style throughput columns for the O(1) negation path.
+
+All node-count columns are deterministic, so ``compare.py`` gates them
+as regressions (see ``is_node_column``), not as timing noise.
+"""
+
+import random
+
+from repro.bdd import BDD
+from repro.blifmv import flatten, parse
+from repro.ctl import check_ctl, parse_ctl
+from repro.models import pingpong
+from repro.network import SymbolicFsm
+
+# ----------------------------------------------------------------------
+# Workload builders
+# ----------------------------------------------------------------------
+
+N_VARS = 16
+N_OPS = 140
+
+
+def _random_pool(bdd: BDD, rng: random.Random, negation_heavy: bool):
+    """Grow a deterministic random operation DAG over ``N_VARS`` inputs.
+
+    The negation-heavy mix mirrors CTL evaluation (lots of ``not``,
+    ``implies`` and ``diff``); the positive mix uses only monotone
+    connectives as the control group.
+    """
+    pool = [bdd.var(j) for j in range(N_VARS)]
+    if negation_heavy:
+        ops = ("not", "not", "implies", "diff", "xnor", "and", "or")
+    else:
+        ops = ("and", "or", "and", "or", "ite")
+    for _ in range(N_OPS):
+        op = ops[rng.randrange(len(ops))]
+        f = pool[rng.randrange(len(pool))]
+        g = pool[rng.randrange(len(pool))]
+        h = pool[rng.randrange(len(pool))]
+        if op == "not":
+            pool.append(bdd.not_(f))
+        elif op == "implies":
+            pool.append(bdd.implies(f, g))
+        elif op == "diff":
+            pool.append(bdd.diff(f, g))
+        elif op == "xnor":
+            pool.append(bdd.xnor(f, g))
+        elif op == "and":
+            pool.append(bdd.and_(f, g))
+        elif op == "or":
+            pool.append(bdd.or_(f, g))
+        else:
+            pool.append(bdd.ite(f, g, h))
+    return pool
+
+
+def _fresh_manager() -> BDD:
+    bdd = BDD()
+    for j in range(N_VARS):
+        bdd.add_var(f"v{j}")
+    return bdd
+
+
+def _kernel_columns(bdd: BDD) -> dict:
+    stats = bdd.stats()
+    ite_like = [
+        d for op, d in bdd.cache_stats().items()
+        if op in ("ite", "and", "or", "xor") and d["lookups"]
+    ]
+    lookups = sum(d["lookups"] for d in ite_like)
+    hits = sum(d["hits"] for d in ite_like)
+    return {
+        "peak_nodes": stats["peak_live_nodes"],
+        "final_nodes": len(bdd),
+        "cache_hit": round(bdd.cache_hit_rate(), 3),
+        "ite_hit": round(hits / lookups, 3) if lookups else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Benches
+# ----------------------------------------------------------------------
+
+
+def test_negation_heavy_dag(benchmark, results_collector):
+    """Random op DAG dominated by not/implies/diff (the CTL op mix)."""
+
+    def run():
+        bdd = _fresh_manager()
+        _random_pool(bdd, random.Random(7), negation_heavy=True)
+        return bdd
+
+    bdd = benchmark.pedantic(run, rounds=3, iterations=1)
+    row = {"seconds": benchmark.stats["mean"]}
+    row.update(_kernel_columns(bdd))
+    results_collector("kernel", "negation_dag", row)
+
+
+def test_monotone_dag(benchmark, results_collector):
+    """Control group: the same DAG shape with monotone connectives only."""
+
+    def run():
+        bdd = _fresh_manager()
+        _random_pool(bdd, random.Random(7), negation_heavy=False)
+        return bdd
+
+    bdd = benchmark.pedantic(run, rounds=3, iterations=1)
+    row = {"seconds": benchmark.stats["mean"]}
+    row.update(_kernel_columns(bdd))
+    results_collector("kernel", "monotone_dag", row)
+
+
+def test_negation_throughput(benchmark, results_collector):
+    """Raw not_ calls over a large function: must allocate nothing."""
+    bdd = _fresh_manager()
+    pool = _random_pool(bdd, random.Random(11), negation_heavy=False)
+    f = pool[-1]
+    live_before = len(bdd)
+    reps = 20_000
+
+    def run():
+        g = f
+        for _ in range(reps):
+            g = bdd.not_(g)
+        return g
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    results_collector("kernel", "not_throughput", {
+        "seconds": benchmark.stats["mean"],
+        "not_per_s": round(reps / benchmark.stats["mean"], 0),
+        "alloc_nodes": len(bdd) - live_before,
+    })
+
+
+COUNTER_N = """
+.model counter
+.mv s,n 16
+.table s -> n
+{rows}
+.latch n s
+.reset s
+0
+.end
+"""
+
+
+def _counter_model():
+    rows = "\n".join(f"{i} {(i + 1) % 16}" for i in range(16))
+    return flatten(parse(COUNTER_N.format(rows=rows)))
+
+
+def test_ctl_negation_mc(benchmark, results_collector):
+    """Negation-heavy CTL on a counter: nested ->/! over fixpoints."""
+    formula = parse_ctl(
+        "AG (!(s=3) -> !(EX (s=5 -> EX s=7)))"
+    )
+
+    def run():
+        fsm = SymbolicFsm(_counter_model())
+        fsm.build_transition()
+        check_ctl(fsm, formula)
+        return fsm
+
+    fsm = benchmark.pedantic(run, rounds=3, iterations=1)
+    row = {"seconds": benchmark.stats["mean"]}
+    row.update(_kernel_columns(fsm.bdd))
+    results_collector("kernel", "ctl_negation", row)
+
+
+def _invariance_automaton(body: str):
+    from repro.automata import Automaton
+    from repro.pif import formula_to_guard
+
+    good = formula_to_guard(parse_ctl(body))
+    aut = Automaton(name="inv", states=["A", "B"], initial=["A"])
+    aut.add_edge("A", "A", good)
+    aut.add_edge("A", "B", ~good)
+    aut.add_edge("B", "B")
+    aut.accept_invariance(["A"])
+    return aut
+
+
+def test_containment_product(benchmark, results_collector):
+    """Language-containment product on a gallery design (edge-removal
+    negates fair sets repeatedly)."""
+    from repro.lc import check_containment
+
+    spec = pingpong.spec()
+    flat = spec.flat()
+    automaton = _invariance_automaton("!(ping_now=1 & pong_now=1)")
+
+    def run():
+        fsm = SymbolicFsm(flat)
+        result = check_containment(fsm, automaton)
+        return fsm, result
+
+    fsm, _result = benchmark.pedantic(run, rounds=3, iterations=1)
+    row = {"seconds": benchmark.stats["mean"]}
+    row.update(_kernel_columns(fsm.bdd))
+    results_collector("kernel", "containment", row)

@@ -9,6 +9,9 @@ written by ``benchmarks/conftest.py``) and reports per-column changes:
   improvements are reported but never fail.  Rate columns (``*per_s``,
   higher is better) are gated in the opposite direction.
 * **paper_*** columns are transcribed constants and are skipped.
+* **node-count columns** (``nodes``, ``*_nodes``) are lower-is-better
+  and tolerance-gated like timing; unlike other counters they stay
+  fatal under ``--lax-counters``.
 * **other numeric columns** (node counts, iterations, cache hit rates)
   come from deterministic pure-Python runs, so any change is reported;
   by default a change fails the comparison (use ``--lax-counters`` to
@@ -43,6 +46,18 @@ def is_timing_column(name: str) -> bool:
 
 def is_rate_column(name: str) -> bool:
     return name.endswith("per_s")
+
+
+def is_node_column(name: str) -> bool:
+    """Node-count columns (``*_nodes``, ``peak_nodes``...): lower is better.
+
+    They come from deterministic runs but legitimately shift whenever the
+    kernel's GC or reordering schedule changes, so they are
+    tolerance-gated like timing rather than compared exactly — and they
+    stay *fatal* under ``--lax-counters``: a peak-node blow-up is exactly
+    the regression the kernel benchmarks exist to catch.
+    """
+    return name == "nodes" or name.endswith("_nodes")
 
 
 def is_paper_column(name: str) -> bool:
@@ -183,7 +198,22 @@ def _compare_cell(
                 f"{base_val:.4g}/s -> {cur_val:.4g}/s", False,
             )
         return
-    # Deterministic counter (node counts, iterations, hit rates, ...).
+    if is_node_column(column):
+        if base_val > 0 and cur_val > base_val * (1.0 + tol):
+            out.add(
+                experiment, case, column, "regression",
+                f"{base_val} -> {cur_val} nodes "
+                f"(+{(cur_val / base_val - 1.0) * 100.0:.0f}%, "
+                f"tolerance {tol * 100.0:.0f}%)",
+                True,
+            )
+        elif base_val > 0 and cur_val < base_val / (1.0 + tol):
+            out.add(
+                experiment, case, column, "improvement",
+                f"{base_val} -> {cur_val} nodes", False,
+            )
+        return
+    # Deterministic counter (iterations, hit rates, state counts, ...).
     if base_val != cur_val:
         out.add(
             experiment, case, column, "drift",

@@ -118,6 +118,20 @@ class FairnessSpec:
     def __iter__(self):
         return iter(self.constraints)
 
+    def nodes(self):
+        """Every raw BDD handle held by the constraints.
+
+        Engines that run GC/reorder safe points between receiving a spec
+        and normalizing it must register these as roots first — the
+        constraint dataclasses hold bare integer handles that a sweep
+        would otherwise free and recycle.
+        """
+        for c in self.constraints:
+            for attr in ("states", "edges", "e", "f", "fin", "inf"):
+                node = getattr(c, attr, None)
+                if node is not None:
+                    yield node
+
     def normalize(self, bdd, true_node: int) -> NormalizedFairness:
         """Normalize all constraints to edge-level Büchi/Streett conditions.
 

@@ -1,17 +1,21 @@
-"""Export and inspection helpers for BDDs (Graphviz dot, level profiles)."""
+"""Export and inspection helpers for BDDs (Graphviz dot, level profiles,
+and a JSON-able save/load format that round-trips complement edges)."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, List, Mapping
 
-from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.bdd.manager import BDD, BddError, FALSE, TRUE
 
 
 def to_dot(bdd: BDD, roots: Mapping[str, int]) -> str:
     """Render the DAG of ``roots`` as a Graphviz ``dot`` string.
 
     Solid edges are high (then) branches, dashed edges low (else)
-    branches — the conventional BDD drawing.
+    branches — the conventional BDD drawing.  Complement arcs carry a
+    dot-shaped arrowhead (``arrowhead=odot``), the CUDD convention;
+    edges into terminals resolve their polarity into the box instead
+    (an arc to the complemented terminal points at ``0``).
     """
     lines = [
         "digraph bdd {",
@@ -23,32 +27,40 @@ def to_dot(bdd: BDD, roots: Mapping[str, int]) -> str:
     seen = set()
     stack = []
     for name, root in roots.items():
-        target = _dot_id(root)
         lines.append(f'  root_{_sanitize(name)} [label="{name}", shape=plaintext];')
-        lines.append(f"  root_{_sanitize(name)} -> {target};")
-        stack.append(root)
+        lines.append(f"  root_{_sanitize(name)} -> {_dot_id(root)}{_dot_attrs(root)};")
+        stack.append(root >> 1)
     while stack:
-        n = stack.pop()
-        if n in (FALSE, TRUE) or n in seen:
+        idx = stack.pop()
+        if idx == 0 or idx in seen:
             continue
-        seen.add(n)
-        var_name = bdd.var_name(bdd._var[n])
-        lines.append(f'  n{n} [label="{var_name}"];')
-        lo, hi = bdd._lo[n], bdd._hi[n]
-        lines.append(f"  n{n} -> {_dot_id(lo)} [style=dashed];")
-        lines.append(f"  n{n} -> {_dot_id(hi)};")
-        stack.append(lo)
-        stack.append(hi)
+        seen.add(idx)
+        var_name = bdd.var_name(bdd._var[idx])
+        lines.append(f'  n{idx} [label="{var_name}"];')
+        lo, hi = bdd._lo[idx], bdd._hi[idx]
+        lines.append(f"  n{idx} -> {_dot_id(lo)}{_dot_attrs(lo, dashed=True)};")
+        lines.append(f"  n{idx} -> {_dot_id(hi)}{_dot_attrs(hi)};")
+        stack.append(lo >> 1)
+        stack.append(hi >> 1)
     lines.append("}")
     return "\n".join(lines)
 
 
-def _dot_id(node: int) -> str:
-    if node == FALSE:
+def _dot_id(handle: int) -> str:
+    if handle == FALSE:
         return "f0"
-    if node == TRUE:
+    if handle == TRUE:
         return "f1"
-    return f"n{node}"
+    return f"n{handle >> 1}"
+
+
+def _dot_attrs(handle: int, dashed: bool = False) -> str:
+    attrs = []
+    if dashed:
+        attrs.append("style=dashed")
+    if handle >= 2 and handle & 1:
+        attrs.append("arrowhead=odot")
+    return f" [{', '.join(attrs)}]" if attrs else ""
 
 
 def _sanitize(name: str) -> str:
@@ -58,20 +70,21 @@ def _sanitize(name: str) -> str:
 def level_profile(bdd: BDD, roots: Iterable[int]) -> Dict[int, int]:
     """Node count per level for the DAG rooted at ``roots``.
 
-    Useful to spot where a bad variable order blows up.
+    Useful to spot where a bad variable order blows up.  Counts distinct
+    physical nodes, so a function and its negation profile identically.
     """
     counts: Dict[int, int] = {}
     seen = set()
-    stack = list(roots)
+    stack = [r >> 1 for r in roots]
     while stack:
-        n = stack.pop()
-        if n in (FALSE, TRUE) or n in seen:
+        idx = stack.pop()
+        if idx == 0 or idx in seen:
             continue
-        seen.add(n)
-        level = bdd.level(bdd._var[n])
+        seen.add(idx)
+        level = bdd.level(bdd._var[idx])
         counts[level] = counts.get(level, 0) + 1
-        stack.append(bdd._lo[n])
-        stack.append(bdd._hi[n])
+        stack.append(bdd._lo[idx] >> 1)
+        stack.append(bdd._hi[idx] >> 1)
     return dict(sorted(counts.items()))
 
 
@@ -86,3 +99,85 @@ def summarize(bdd: BDD, roots: Mapping[str, int]) -> str:
         "{cache_entries} cache entries, {gc_runs} GCs".format(**stats)
     )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+_FORMAT = "hsis-bdd-1"
+
+
+def save(bdd: BDD, roots: Mapping[str, int]) -> Dict[str, object]:
+    """Serialize ``roots`` to a JSON-able dict, complement arcs included.
+
+    Nodes are listed children-first as ``[var_name, lo_ref, hi_ref]``.
+    A *ref* mirrors the handle encoding without depending on it:
+    ``(serial + 1) << 1 | complement`` for the ``serial``-th listed node,
+    and ``0``/``1`` for the TRUE/FALSE terminals, so a complemented arc
+    survives the trip byte-exactly.
+    """
+    serial_of: Dict[int, int] = {}
+    nodes: List[List[object]] = []
+
+    def ref_of(handle: int) -> int:
+        if handle < 2:
+            return handle
+        return ((serial_of[handle >> 1] + 1) << 1) | (handle & 1)
+
+    def emit(handle: int) -> None:
+        # Iterative postorder over regular node indices.
+        stack = [(handle >> 1, False)]
+        while stack:
+            idx, ready = stack.pop()
+            if idx == 0 or (idx in serial_of and not ready):
+                continue
+            if ready:
+                if idx in serial_of:
+                    continue
+                serial_of[idx] = len(nodes)
+                nodes.append([
+                    bdd.var_name(bdd._var[idx]),
+                    ref_of(bdd._lo[idx]),
+                    ref_of(bdd._hi[idx]),
+                ])
+            else:
+                stack.append((idx, True))
+                stack.append((bdd._lo[idx] >> 1, False))
+                stack.append((bdd._hi[idx] >> 1, False))
+
+    for root in roots.values():
+        emit(root)
+    return {
+        "format": _FORMAT,
+        "order": [bdd.var_name(v) for v in bdd.order],
+        "nodes": nodes,
+        "roots": {name: ref_of(root) for name, root in roots.items()},
+    }
+
+
+def load(bdd: BDD, payload: Mapping[str, object]) -> Dict[str, int]:
+    """Rebuild saved roots inside ``bdd``; returns ``{name: handle}``.
+
+    Variables named in the payload that ``bdd`` does not know yet are
+    declared (in the payload's order).  Reconstruction goes through the
+    public ``ite``, so the result is canonical under ``bdd``'s *current*
+    order even if it differs from the order at save time.
+    """
+    if payload.get("format") != _FORMAT:
+        raise BddError(f"unknown BDD dump format: {payload.get('format')!r}")
+    for name in payload["order"]:
+        if name not in bdd._var_of_name:
+            bdd.add_var(name)
+    built: List[int] = []
+
+    def resolve(ref: int) -> int:
+        serial = (ref >> 1) - 1
+        h = bdd.true if serial < 0 else built[serial]
+        return bdd.not_(h) if ref & 1 else h
+
+    for var_name, lo_ref, hi_ref in payload["nodes"]:
+        built.append(
+            bdd.ite(bdd.var(var_name), resolve(hi_ref), resolve(lo_ref))
+        )
+    return {name: resolve(ref) for name, ref in dict(payload["roots"]).items()}

@@ -14,12 +14,19 @@ Python:
 * functional composition, generalized cofactor (``constrain``) and the
   Coudert-Madre ``restrict`` don't-care minimizer,
 * satisfiability helpers (counting, cube enumeration, evaluation),
-* a mark-and-sweep garbage collector driven by explicitly registered roots.
+* a mark-and-sweep garbage collector driven by explicitly registered roots,
+* dynamic variable reordering (sifting) at the same GC safe points.
 
-Nodes are integers indexing parallel arrays; the constants ``FALSE`` (0)
-and ``TRUE`` (1) are terminals.  Variables are identified by small integer
-indices; the manager's ``order`` maps variables to levels so that static
-reordering (see :mod:`repro.bdd.ordering`) only permutes one array.
+Handles are *complemented edges*: a function handle is
+``(node_index << 1) | complement_bit``.  There is a single terminal node
+at index 0 (the constant one); ``TRUE`` is its regular handle ``0`` and
+``FALSE`` its complemented handle ``1``.  Stored nodes keep their
+then-edge regular (the canonical form), so every function and its
+negation share one subgraph and ``not_`` is a constant-time bit flip
+that allocates nothing.  Canonicity invariant: a handle is regular
+exactly when its function evaluates to ``TRUE`` on the all-ones
+assignment — a property independent of the variable order, which is what
+makes in-place level swaps (sifting) safe under this encoding.
 """
 
 from __future__ import annotations
@@ -33,8 +40,8 @@ from repro.trace.tracer import Tracer
 #: attribute when structured tracing is on (see repro.trace).
 _NULL_TRACER = Tracer(enabled=False)
 
-FALSE = 0
-TRUE = 1
+TRUE = 0
+FALSE = 1
 
 _LEAF_LEVEL = 1 << 30
 
@@ -45,8 +52,10 @@ _COMBINE_OR = 2
 _SHORT_CIRCUIT = 3
 
 # Every computed-cache-keyed operation, for per-op hit/miss accounting.
+# "and"/"or"/"xor" share the standardized "ite" cache but keep their own
+# lookup/hit attribution so callers can still see which entry point pays.
 CACHED_OPS = (
-    "ite", "and", "not", "exist", "andex",
+    "ite", "and", "or", "xor", "exist", "andex",
     "rename", "vcomp", "restr", "constrain", "restrdc",
 )
 
@@ -58,10 +67,11 @@ class BddError(Exception):
 class BDD:
     """A manager owning a shared pool of ROBDD nodes.
 
-    All functions returned by manager methods are plain ``int`` node
-    handles; they are only meaningful together with the manager that
-    produced them.  Handles stay valid across garbage collections as long
-    as they are reachable from a registered root (see :meth:`gc`).
+    All functions returned by manager methods are plain ``int`` handles
+    (``index << 1 | complement``); they are only meaningful together with
+    the manager that produced them.  Handles stay valid across garbage
+    collections and in-place reorders as long as they are reachable from
+    a registered root (see :meth:`gc`).
 
     The manager manages its own resources:
 
@@ -76,41 +86,62 @@ class BDD:
       collection can never run in the middle of an operation because
       intermediate results held in Python locals are invisible to the
       mark phase.
+    * ``auto_reorder`` arms dynamic sifting the same way: when the live
+      node count grows past an adaptive watermark, :meth:`_mk` flags a
+      pending reorder which also runs at the next :meth:`maybe_gc` safe
+      point (in-place level swaps keep all root handles valid).  After a
+      sift the watermark re-arms at twice the post-sift size, so a
+      well-ordered manager is never sifted twice in a row.
     """
 
     def __init__(
         self,
         auto_gc: Optional[int] = None,
         cache_limit: Optional[int] = None,
+        auto_reorder: Optional[int] = None,
     ) -> None:
         if auto_gc is not None and auto_gc < 1:
             raise BddError("auto_gc threshold must be positive (or None)")
         if cache_limit is not None and cache_limit < 1:
             raise BddError("cache_limit must be positive (or None)")
-        # Parallel node arrays.  Index 0 is FALSE, index 1 is TRUE.
-        self._var: List[int] = [-1, -1]
-        self._lo: List[int] = [FALSE, TRUE]
-        self._hi: List[int] = [FALSE, TRUE]
-        # One unique table per variable: (lo, hi) -> node.
+        if auto_reorder is not None and auto_reorder < 1:
+            raise BddError("auto_reorder threshold must be positive (or None)")
+        # Parallel node arrays.  Index 0 is the single terminal (constant
+        # one); its slots are placeholders and never traversed.
+        self._var: List[int] = [-1]
+        self._lo: List[int] = [0]
+        self._hi: List[int] = [0]
+        # One unique table per variable: (lo, hi) -> node index.
         self._unique: List[Dict[Tuple[int, int], int]] = []
         self._free: List[int] = []
-        # Computed cache: (op, f, g, h) -> node.
+        # Computed cache: (op, f, g, h) -> handle.
         self._cache: Dict[Tuple, int] = {}
         # Variable bookkeeping.
         self._name_of_var: List[str] = []
         self._var_of_name: Dict[str, int] = {}
         self._level_of_var: List[int] = []
         self._var_at_level: List[int] = []
-        # Externally registered GC roots (name -> node).
+        # Externally registered GC roots (name -> handle).
         self._roots: Dict[str, int] = {}
         self.gc_count = 0
         # Resource management knobs and telemetry.
         self.auto_gc = auto_gc
         self.cache_limit = cache_limit
+        self.auto_reorder = auto_reorder
         self.cache_evictions = 0
         self.peak_live_nodes = 2
         self._gc_pending = False
         self._nodes_since_gc = 0
+        self._reorder_pending = False
+        self._in_reorder = False
+        self._reorder_watermark = auto_reorder if auto_reorder is not None else 0
+        self.reorder_count = 0
+        self.sift_swaps = 0
+        self.sift_fast_swaps = 0
+        self.sift_lb_skips = 0
+        # O(1) negation / ITE standardization telemetry.
+        self.not_calls = 0
+        self.std_rewrites = 0
         # op -> [lookups, hits] for the computed cache.
         self._op_stats: Dict[str, List[int]] = {op: [0, 0] for op in CACHED_OPS}
         # Structured event sink (GC sweeps, cache evictions, reorders).
@@ -140,12 +171,6 @@ class BDD:
         self._level_of_var.append(0)
         for lvl, v in enumerate(self._var_at_level):
             self._level_of_var[v] = lvl
-        if level != len(self._var_at_level) - 1:
-            # Inserting mid-order shifts levels; cached results keyed on
-            # structure stay valid, but level-dependent ops do not cache
-            # levels, so only clear nothing.  (Nodes store variable ids,
-            # not levels, so no node surgery is needed.)
-            pass
         return var
 
     @property
@@ -203,18 +228,28 @@ class BDD:
     # ------------------------------------------------------------------
 
     def _node_level(self, f: int) -> int:
-        v = self._var[f]
+        v = self._var[f >> 1]
         return _LEAF_LEVEL if v < 0 else self._level_of_var[v]
 
     def _mk(self, var: int, lo: int, hi: int) -> int:
-        """Find-or-create the node ``(var, lo, hi)`` (reduced, canonical)."""
+        """Find-or-create the canonical handle for ``(var, lo, hi)``.
+
+        Enforces the complement-edge canonical form: if the then-edge is
+        complemented, both children are flipped and the returned handle
+        carries the complement instead, so stored then-edges are always
+        regular and ``f``/``not f`` resolve to the same node.
+        """
         if lo == hi:
             return lo
+        neg = hi & 1
+        if neg:
+            lo ^= 1
+            hi ^= 1
         table = self._unique[var]
         key = (lo, hi)
         node = table.get(key)
         if node is not None:
-            return node
+            return (node << 1) | neg
         if self._free:
             node = self._free.pop()
             self._var[node] = var
@@ -227,7 +262,7 @@ class BDD:
             self._hi.append(hi)
         table[key] = node
         self._nodes_since_gc += 1
-        live = len(self._var) - len(self._free)
+        live = len(self._var) - len(self._free) + 1
         if live > self.peak_live_nodes:
             self.peak_live_nodes = live
         if (
@@ -239,7 +274,14 @@ class BDD:
             # the in-flight operation's locals.  maybe_gc() runs it at the
             # next engine safe point.
             self._gc_pending = True
-        return node
+        if (
+            self.auto_reorder is not None
+            and not self._reorder_pending
+            and not self._in_reorder
+            and live > self._reorder_watermark
+        ):
+            self._reorder_pending = True
+        return (node << 1) | neg
 
     def _cache_insert(self, key: Tuple, value: int) -> None:
         """Insert into the computed cache, honouring ``cache_limit``."""
@@ -272,8 +314,7 @@ class BDD:
 
     def nvar(self, name_or_index) -> int:
         """Return the function of a single negative literal."""
-        var = name_or_index if isinstance(name_or_index, int) else self.var_index(name_or_index)
-        return self._mk(var, TRUE, FALSE)
+        return self.var(name_or_index) ^ 1
 
     @property
     def true(self) -> int:
@@ -284,8 +325,12 @@ class BDD:
         return FALSE
 
     def __len__(self) -> int:
-        """Total live nodes in the pool (including the two terminals)."""
-        return len(self._var) - len(self._free)
+        """Total live nodes in the pool.
+
+        The single terminal counts as two (both polarities), keeping the
+        node accounting comparable with two-terminal kernels.
+        """
+        return len(self._var) - len(self._free) + 1
 
     # ------------------------------------------------------------------
     # Core operators
@@ -296,7 +341,7 @@ class BDD:
         best = -1
         best_level = _LEAF_LEVEL
         for f in nodes:
-            v = self._var[f]
+            v = self._var[f >> 1]
             if v >= 0:
                 lvl = self._level_of_var[v]
                 if lvl < best_level:
@@ -305,160 +350,187 @@ class BDD:
         return best
 
     def _cofactors(self, f: int, var: int) -> Tuple[int, int]:
-        if self._var[f] == var:
-            return self._lo[f], self._hi[f]
+        idx = f >> 1
+        if self._var[idx] == var:
+            c = f & 1
+            return self._lo[idx] ^ c, self._hi[idx] ^ c
         return f, f
 
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f & g | ~f & h``.  The universal connective.
+    def _ite(self, f: int, g: int, h: int, stats: List[int]) -> int:
+        """Standardized, explicit-stack if-then-else.
 
-        Explicit-stack iterative, so arbitrarily deep BDDs never exhaust
-        the interpreter recursion limit.
+        Each triple is rewritten to the Brace-Rudell-Bryant standard form
+        before the cache lookup — equal/complement arguments collapsed,
+        commutative special forms ordered by (level, index), the first
+        argument made regular, the complement pushed out of the then
+        branch — so every equivalent call shares one cache line.
+        ``stats`` attributes the lookups to the calling entry point
+        (``ite``/``and``/``or``/``xor``) while the cache key stays shared.
         """
         cache = self._cache
-        stats = self._op_stats["ite"]
-        todo: List[Tuple] = [(_EXPAND, f, g, h)]
+        cache_get = cache.get
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        lvl_of = self._level_of_var
+        mk = self._mk
+        todo: List[Tuple] = [(_EXPAND, f, g, h, 0)]
         results: List[int] = []
+        std_rewrites = 0
         while todo:
             frame = todo.pop()
             if frame[0] == _EXPAND:
-                _, f, g, h = frame
+                _, f, g, h, outneg = frame
+                # Collapse branches equal (or complementary) to the test.
+                if g == f:
+                    g = TRUE
+                elif g == (f ^ 1):
+                    g = FALSE
+                if h == f:
+                    h = FALSE
+                elif h == (f ^ 1):
+                    h = TRUE
                 # Terminal cases.
                 if f == TRUE:
-                    results.append(g)
+                    results.append(g ^ outneg)
                     continue
                 if f == FALSE:
-                    results.append(h)
+                    results.append(h ^ outneg)
                     continue
                 if g == h:
-                    results.append(g)
+                    results.append(g ^ outneg)
                     continue
                 if g == TRUE and h == FALSE:
-                    results.append(f)
+                    results.append(f ^ outneg)
                     continue
+                if g == FALSE and h == TRUE:
+                    results.append(f ^ 1 ^ outneg)
+                    continue
+                orig_f, orig_g, orig_h = f, g, h
+                # Canonical argument order for the commutative forms.  In
+                # every branch both compared operands are internal nodes
+                # (terminal combinations were all resolved above), so the
+                # (level, index) key packs into one int without a leaf
+                # check.
+                fi = f >> 1
+                fkey = (lvl_of[var_arr[fi]] << 32) | fi
+                if g == TRUE:  # f | h == h | f
+                    oi = h >> 1
+                    if (lvl_of[var_arr[oi]] << 32) | oi < fkey:
+                        f, h = h, f
+                elif h == FALSE:  # f & g == g & f
+                    oi = g >> 1
+                    if (lvl_of[var_arr[oi]] << 32) | oi < fkey:
+                        f, g = g, f
+                elif h == TRUE:  # f -> g == ~g -> ~f
+                    oi = g >> 1
+                    if (lvl_of[var_arr[oi]] << 32) | oi < fkey:
+                        f, g = g ^ 1, f ^ 1
+                elif g == FALSE:  # ~f & h == ~h & f (operands flipped)
+                    oi = h >> 1
+                    if (lvl_of[var_arr[oi]] << 32) | oi < fkey:
+                        f, h = h ^ 1, f ^ 1
+                elif g == (h ^ 1):  # f <-> g == g <-> f
+                    oi = g >> 1
+                    if (lvl_of[var_arr[oi]] << 32) | oi < fkey:
+                        f, g, h = g, f, f ^ 1
+                # First argument regular: ite(~f,g,h) == ite(f,h,g).
+                if f & 1:
+                    f, g, h = f ^ 1, h, g
+                # Then-branch regular: push the complement to the output.
+                if g & 1:
+                    g ^= 1
+                    h ^= 1
+                    outneg ^= 1
+                if f != orig_f or g != orig_g or h != orig_h:
+                    std_rewrites += 1
                 key = ("ite", f, g, h)
                 stats[0] += 1
-                res = cache.get(key)
+                res = cache_get(key)
                 if res is not None:
                     stats[1] += 1
-                    results.append(res)
+                    results.append(res ^ outneg)
                     continue
-                var = self.top_var(f, g, h)
-                f0, f1 = self._cofactors(f, var)
-                g0, g1 = self._cofactors(g, var)
-                h0, h1 = self._cofactors(h, var)
-                todo.append((_REDUCE, var, key))
-                todo.append((_EXPAND, f1, g1, h1))
-                todo.append((_EXPAND, f0, g0, h0))
+                # Inline top_var + cofactors (f is never terminal here).
+                fi = f >> 1
+                var = var_arr[fi]
+                top = lvl_of[var]
+                gi = g >> 1
+                vg = var_arr[gi]
+                if vg >= 0 and lvl_of[vg] < top:
+                    var = vg
+                    top = lvl_of[vg]
+                hd = h >> 1
+                vh = var_arr[hd]
+                if vh >= 0 and lvl_of[vh] < top:
+                    var = vh
+                    top = lvl_of[vh]
+                if var_arr[fi] == var:
+                    c = f & 1
+                    f0 = lo_arr[fi] ^ c
+                    f1 = hi_arr[fi] ^ c
+                else:
+                    f0 = f1 = f
+                if vg == var:
+                    c = g & 1
+                    g0 = lo_arr[gi] ^ c
+                    g1 = hi_arr[gi] ^ c
+                else:
+                    g0 = g1 = g
+                if vh == var:
+                    c = h & 1
+                    h0 = lo_arr[hd] ^ c
+                    h1 = hi_arr[hd] ^ c
+                else:
+                    h0 = h1 = h
+                todo.append((_REDUCE, var, key, outneg))
+                todo.append((_EXPAND, f1, g1, h1, 0))
+                todo.append((_EXPAND, f0, g0, h0, 0))
             else:
-                _, var, key = frame
+                _, var, key, outneg = frame
                 hi = results.pop()
                 lo = results.pop()
-                res = self._mk(var, lo, hi)
-                self._cache_insert(key, res)
-                results.append(res)
+                res = mk(var, lo, hi)
+                if self.cache_limit is not None and len(cache) >= self.cache_limit:
+                    self._cache_insert(key, res)
+                else:
+                    cache[key] = res
+                results.append(res ^ outneg)
+        self.std_rewrites += std_rewrites
         return results.pop()
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h``.  The universal connective."""
+        return self._ite(f, g, h, self._op_stats["ite"])
 
     def not_(self, f: int) -> int:
-        """Negation (explicit-stack iterative)."""
-        cache = self._cache
-        stats = self._op_stats["not"]
-        todo: List[Tuple] = [(_EXPAND, f)]
-        results: List[int] = []
-        while todo:
-            frame = todo.pop()
-            if frame[0] == _EXPAND:
-                _, f = frame
-                if f == FALSE:
-                    results.append(TRUE)
-                    continue
-                if f == TRUE:
-                    results.append(FALSE)
-                    continue
-                stats[0] += 1
-                res = cache.get(("not", f))
-                if res is not None:
-                    stats[1] += 1
-                    results.append(res)
-                    continue
-                todo.append((_REDUCE, self._var[f], f))
-                todo.append((_EXPAND, self._hi[f]))
-                todo.append((_EXPAND, self._lo[f]))
-            else:
-                _, var, orig = frame
-                hi = results.pop()
-                lo = results.pop()
-                res = self._mk(var, lo, hi)
-                self._cache_insert(("not", orig), res)
-                self._cache_insert(("not", res), orig)
-                results.append(res)
-        return results.pop()
+        """Negation: an O(1) complement-bit flip; allocates no nodes."""
+        self.not_calls += 1
+        return f ^ 1
 
     def and_(self, f: int, g: int) -> int:
-        """Conjunction, with a dedicated cache entry (hot path).
-
-        Explicit-stack iterative like :meth:`ite`.
-        """
-        cache = self._cache
-        stats = self._op_stats["and"]
-        todo: List[Tuple] = [(_EXPAND, f, g)]
-        results: List[int] = []
-        while todo:
-            frame = todo.pop()
-            if frame[0] == _EXPAND:
-                _, f, g = frame
-                if f == FALSE or g == FALSE:
-                    results.append(FALSE)
-                    continue
-                if f == TRUE:
-                    results.append(g)
-                    continue
-                if g == TRUE or f == g:
-                    results.append(f)
-                    continue
-                if f > g:
-                    f, g = g, f
-                key = ("and", f, g)
-                stats[0] += 1
-                res = cache.get(key)
-                if res is not None:
-                    stats[1] += 1
-                    results.append(res)
-                    continue
-                var = self.top_var(f, g)
-                f0, f1 = self._cofactors(f, var)
-                g0, g1 = self._cofactors(g, var)
-                todo.append((_REDUCE, var, key))
-                todo.append((_EXPAND, f1, g1))
-                todo.append((_EXPAND, f0, g0))
-            else:
-                _, var, key = frame
-                hi = results.pop()
-                lo = results.pop()
-                res = self._mk(var, lo, hi)
-                self._cache_insert(key, res)
-                results.append(res)
-        return results.pop()
+        """Conjunction (standardized ``ite(f, g, FALSE)``)."""
+        return self._ite(f, g, FALSE, self._op_stats["and"])
 
     def or_(self, f: int, g: int) -> int:
-        """Disjunction."""
-        return self.not_(self.and_(self.not_(f), self.not_(g)))
+        """Disjunction (standardized ``ite(f, TRUE, g)``)."""
+        return self._ite(f, TRUE, g, self._op_stats["or"])
 
     def xor(self, f: int, g: int) -> int:
         """Exclusive or."""
-        return self.ite(f, self.not_(g), g)
+        return self._ite(f, g ^ 1, g, self._op_stats["xor"])
 
     def xnor(self, f: int, g: int) -> int:
         """Equivalence."""
-        return self.ite(f, g, self.not_(g))
+        return self._ite(f, g, g ^ 1, self._op_stats["xor"])
 
     def implies(self, f: int, g: int) -> int:
         """Implication ``f -> g``."""
-        return self.ite(f, g, TRUE)
+        return self._ite(f, g, TRUE, self._op_stats["or"])
 
     def diff(self, f: int, g: int) -> int:
         """Difference ``f & ~g``."""
-        return self.and_(f, self.not_(g))
+        return self._ite(f, g ^ 1, FALSE, self._op_stats["and"])
 
     def conj(self, fs: Iterable[int]) -> int:
         """Conjunction of many functions."""
@@ -500,10 +572,17 @@ class BDD:
     def cube_vars(self, cube: int) -> List[int]:
         """Variable indices appearing in a positive cube."""
         out = []
-        while cube not in (FALSE, TRUE):
-            out.append(self._var[cube])
-            cube = self._hi[cube] if self._lo[cube] == FALSE else self._lo[cube]
+        while cube >= 2:
+            c = cube & 1
+            idx = cube >> 1
+            out.append(self._var[idx])
+            lo = self._lo[idx] ^ c
+            cube = (self._hi[idx] ^ c) if lo == FALSE else lo
         return out
+
+    def _cube_next(self, cube: int) -> int:
+        """The sub-cube below the top variable of a positive cube."""
+        return self._hi[cube >> 1] ^ (cube & 1)
 
     def exist(self, variables, f: int) -> int:
         """Existentially quantify ``variables`` out of ``f``."""
@@ -520,13 +599,13 @@ class BDD:
             tag = frame[0]
             if tag == _EXPAND:
                 _, cube, f = frame
-                if f in (FALSE, TRUE) or cube == TRUE:
+                if f < 2 or cube == TRUE:
                     results.append(f)
                     continue
                 # Skip cube variables above f's top.
                 flevel = self._node_level(f)
                 while cube != TRUE and self._node_level(cube) < flevel:
-                    cube = self._hi[cube]
+                    cube = self._cube_next(cube)
                 if cube == TRUE:
                     results.append(f)
                     continue
@@ -537,10 +616,12 @@ class BDD:
                     stats[1] += 1
                     results.append(res)
                     continue
-                var = self._var[f]
-                lo, hi = self._lo[f], self._hi[f]
-                if self._var[cube] == var:
-                    sub = self._hi[cube]
+                idx = f >> 1
+                c = f & 1
+                var = self._var[idx]
+                lo, hi = self._lo[idx] ^ c, self._hi[idx] ^ c
+                if self._var[cube >> 1] == var:
+                    sub = self._cube_next(cube)
                     todo.append((_COMBINE_OR, key))
                     todo.append((_EXPAND, sub, hi))
                     todo.append((_EXPAND, sub, lo))
@@ -566,7 +647,7 @@ class BDD:
 
     def forall(self, variables, f: int) -> int:
         """Universally quantify ``variables`` out of ``f``."""
-        return self.not_(self.exist(variables, self.not_(f)))
+        return self.exist(variables, f ^ 1) ^ 1
 
     def and_exists(self, f: int, g: int, variables) -> int:
         """Fused relational product ``exists variables . f & g``.
@@ -579,6 +660,11 @@ class BDD:
 
     def _and_exists(self, f: int, g: int, cube: int) -> int:
         cache = self._cache
+        cache_get = cache.get
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        lvl_of = self._level_of_var
         stats = self._op_stats["andex"]
         todo: List[Tuple] = [(_EXPAND, f, g, cube)]
         results: List[int] = []
@@ -587,7 +673,7 @@ class BDD:
             tag = frame[0]
             if tag == _EXPAND:
                 _, f, g, cube = frame
-                if f == FALSE or g == FALSE:
+                if f == FALSE or g == FALSE or f == (g ^ 1):
                     results.append(FALSE)
                     continue
                 if cube == TRUE:
@@ -598,24 +684,42 @@ class BDD:
                     continue
                 if f > g:
                     f, g = g, f
-                top = min(self._node_level(f), self._node_level(g))
-                while cube != TRUE and self._node_level(cube) < top:
-                    cube = self._hi[cube]
+                # Inline top-level computation; at least one of f, g is an
+                # internal node here.
+                vf = var_arr[f >> 1]
+                vg = var_arr[g >> 1]
+                lf = _LEAF_LEVEL if vf < 0 else lvl_of[vf]
+                lg = _LEAF_LEVEL if vg < 0 else lvl_of[vg]
+                top = lf if lf < lg else lg
+                while cube != TRUE and lvl_of[var_arr[cube >> 1]] < top:
+                    cube = hi_arr[cube >> 1] ^ (cube & 1)
                 if cube == TRUE:
                     results.append(self.and_(f, g))
                     continue
                 key = ("andex", f, g, cube)
                 stats[0] += 1
-                res = cache.get(key)
+                res = cache_get(key)
                 if res is not None:
                     stats[1] += 1
                     results.append(res)
                     continue
-                var = self.top_var(f, g)
-                f0, f1 = self._cofactors(f, var)
-                g0, g1 = self._cofactors(g, var)
-                if self._var[cube] == var:
-                    sub = self._hi[cube]
+                var = vf if lf <= lg else vg
+                fi = f >> 1
+                if vf == var:
+                    c = f & 1
+                    f0 = lo_arr[fi] ^ c
+                    f1 = hi_arr[fi] ^ c
+                else:
+                    f0 = f1 = f
+                gi = g >> 1
+                if vg == var:
+                    c = g & 1
+                    g0 = lo_arr[gi] ^ c
+                    g1 = hi_arr[gi] ^ c
+                else:
+                    g0 = g1 = g
+                if var_arr[cube >> 1] == var:
+                    sub = self._cube_next(cube)
                     todo.append((_SHORT_CIRCUIT, f1, g1, sub, key))
                     todo.append((_EXPAND, f0, g0, sub))
                 else:
@@ -652,31 +756,43 @@ class BDD:
     # Substitution
     # ------------------------------------------------------------------
 
-    def rename(self, f: int, mapping: Dict[int, int]) -> int:
+    def rename(self, f: int, mapping: Dict[int, int], strict: bool = True) -> int:
         """Rename variables according to ``mapping`` (var index -> var index).
 
         The mapping must be order-preserving with respect to the current
         variable order (as is the case for interleaved present/next state
-        variables); otherwise a :class:`BddError` is raised and the caller
-        should fall back to :meth:`compose`.
+        variables); otherwise a :class:`BddError` is raised — unless
+        ``strict`` is False, in which case the rename falls back to a
+        simultaneous :meth:`vector_compose`, which is slower but correct
+        under any order (dynamic reordering can break the interleave).
         """
         if not mapping:
             return f
         pairs = sorted(mapping.items(), key=lambda kv: self._level_of_var[kv[0]])
         images = [self._level_of_var[v] for _, v in pairs]
-        if images != sorted(images):
+        if images == sorted(images):
+            # The rename must also not move a variable across an unrenamed
+            # variable in f's support in an order-violating way; detected
+            # lazily during reconstruction (mk with out-of-order children
+            # would break canonicity silently).
+            key_map = tuple(sorted(mapping.items()))
+            self._ensure_depth()
+            try:
+                return self._rename(f, mapping, key_map)
+            except BddError:
+                if strict:
+                    raise
+        elif strict:
             raise BddError("rename mapping must preserve the variable order")
-        # The rename must also not move a variable across an unrenamed
-        # variable in f's support in an order-violating way; detect lazily
-        # during reconstruction (mk with out-of-order children would break
-        # canonicity silently, so check support overlap here).
-        key_map = tuple(sorted(mapping.items()))
-        self._ensure_depth()
-        return self._rename(f, mapping, key_map)
+        return self.vector_compose(
+            f, {v: self.var(nv) for v, nv in mapping.items()}
+        )
 
     def _rename(self, f: int, mapping: Dict[int, int], key_map: Tuple) -> int:
-        if f in (FALSE, TRUE):
+        if f < 2:
             return f
+        if f & 1:
+            return self._rename(f ^ 1, mapping, key_map) ^ 1
         key = ("rename", f, key_map)
         stats = self._op_stats["rename"]
         stats[0] += 1
@@ -684,13 +800,14 @@ class BDD:
         if res is not None:
             stats[1] += 1
             return res
-        var = self._var[f]
-        lo = self._rename(self._lo[f], mapping, key_map)
-        hi = self._rename(self._hi[f], mapping, key_map)
+        idx = f >> 1
+        var = self._var[idx]
+        lo = self._rename(self._lo[idx], mapping, key_map)
+        hi = self._rename(self._hi[idx], mapping, key_map)
         nvar = mapping.get(var, var)
         nlvl = self._level_of_var[nvar]
         for child in (lo, hi):
-            if child not in (FALSE, TRUE) and self._node_level(child) <= nlvl:
+            if child >= 2 and self._node_level(child) <= nlvl:
                 raise BddError(
                     "rename would reorder variables; use compose instead"
                 )
@@ -717,8 +834,10 @@ class BDD:
         return self._vcompose(f, substitution, key_map)
 
     def _vcompose(self, f: int, sub: Dict[int, int], key_map: Tuple) -> int:
-        if f in (FALSE, TRUE):
+        if f < 2:
             return f
+        if f & 1:
+            return self._vcompose(f ^ 1, sub, key_map) ^ 1
         key = ("vcomp", f, key_map)
         stats = self._op_stats["vcomp"]
         stats[0] += 1
@@ -726,9 +845,10 @@ class BDD:
         if res is not None:
             stats[1] += 1
             return res
-        var = self._var[f]
-        lo = self._vcompose(self._lo[f], sub, key_map)
-        hi = self._vcompose(self._hi[f], sub, key_map)
+        idx = f >> 1
+        var = self._var[idx]
+        lo = self._vcompose(self._lo[idx], sub, key_map)
+        hi = self._vcompose(self._hi[idx], sub, key_map)
         g = sub.get(var)
         if g is None:
             g = self.var(var)
@@ -749,8 +869,10 @@ class BDD:
         return self._restrict(f, assignment, key_map)
 
     def _restrict(self, f: int, assignment: Dict[int, bool], key_map: Tuple) -> int:
-        if f in (FALSE, TRUE):
+        if f < 2:
             return f
+        if f & 1:
+            return self._restrict(f ^ 1, assignment, key_map) ^ 1
         key = ("restr", f, key_map)
         stats = self._op_stats["restr"]
         stats[0] += 1
@@ -758,16 +880,18 @@ class BDD:
         if res is not None:
             stats[1] += 1
             return res
-        var = self._var[f]
+        idx = f >> 1
+        var = self._var[idx]
         if var in assignment:
             res = self._restrict(
-                self._hi[f] if assignment[var] else self._lo[f], assignment, key_map
+                self._hi[idx] if assignment[var] else self._lo[idx],
+                assignment, key_map,
             )
         else:
             res = self._mk(
                 var,
-                self._restrict(self._lo[f], assignment, key_map),
-                self._restrict(self._hi[f], assignment, key_map),
+                self._restrict(self._lo[idx], assignment, key_map),
+                self._restrict(self._hi[idx], assignment, key_map),
             )
         self._cache_insert(key, res)
         return res
@@ -775,14 +899,17 @@ class BDD:
     def cofactor_cube(self, f: int, cube: int) -> int:
         """Cofactor ``f`` by a (possibly negative-literal) cube BDD."""
         assignment: Dict[int, bool] = {}
-        while cube not in (FALSE, TRUE):
-            var = self._var[cube]
-            if self._lo[cube] == FALSE:
+        while cube >= 2:
+            c = cube & 1
+            idx = cube >> 1
+            var = self._var[idx]
+            lo = self._lo[idx] ^ c
+            if lo == FALSE:
                 assignment[var] = True
-                cube = self._hi[cube]
+                cube = self._hi[idx] ^ c
             else:
                 assignment[var] = False
-                cube = self._lo[cube]
+                cube = lo
         return self.restrict(f, assignment)
 
     def constrain(self, f: int, c: int) -> int:
@@ -798,10 +925,14 @@ class BDD:
         return self._constrain(f, c)
 
     def _constrain(self, f: int, c: int) -> int:
-        if c == TRUE or f in (FALSE, TRUE):
+        if c == TRUE or f < 2:
             return f
+        if f & 1:
+            return self._constrain(f ^ 1, c) ^ 1
         if f == c:
             return TRUE
+        if f == (c ^ 1):
+            return FALSE
         key = ("constrain", f, c)
         stats = self._op_stats["constrain"]
         stats[0] += 1
@@ -836,8 +967,10 @@ class BDD:
         return self._restrict_dc(f, c)
 
     def _restrict_dc(self, f: int, c: int) -> int:
-        if c == TRUE or f in (FALSE, TRUE):
+        if c == TRUE or f < 2:
             return f
+        if f & 1:
+            return self._restrict_dc(f ^ 1, c) ^ 1
         key = ("restrdc", f, c)
         stats = self._op_stats["restrdc"]
         stats[0] += 1
@@ -847,10 +980,15 @@ class BDD:
             return res
         lf, lc = self._node_level(f), self._node_level(c)
         if lc < lf:
-            res = self._restrict_dc(f, self.or_(self._lo[c], self._hi[c]))
+            cidx = c >> 1
+            cc = c & 1
+            res = self._restrict_dc(
+                f, self.or_(self._lo[cidx] ^ cc, self._hi[cidx] ^ cc)
+            )
         else:
-            var = self._var[f]
-            f0, f1 = self._lo[f], self._hi[f]
+            idx = f >> 1
+            var = self._var[idx]
+            f0, f1 = self._lo[idx], self._hi[idx]
             c0, c1 = self._cofactors(c, var)
             if c0 == FALSE:
                 res = self._restrict_dc(f1, c1)
@@ -871,23 +1009,24 @@ class BDD:
         """Variable indices in the support of ``f``, in order."""
         seen = set()
         sup = set()
-        stack = [f]
+        stack = [f >> 1]
         while stack:
-            n = stack.pop()
-            if n in (FALSE, TRUE) or n in seen:
+            idx = stack.pop()
+            if idx == 0 or idx in seen:
                 continue
-            seen.add(n)
-            sup.add(self._var[n])
-            stack.append(self._lo[n])
-            stack.append(self._hi[n])
+            seen.add(idx)
+            sup.add(self._var[idx])
+            stack.append(self._lo[idx] >> 1)
+            stack.append(self._hi[idx] >> 1)
         return sorted(sup, key=lambda v: self._level_of_var[v])
 
     def size(self, f) -> int:
         """Number of distinct nodes in the DAG(s) rooted at ``f``.
 
-        ``f`` may be a single node or an iterable of nodes (shared size).
-        Only terminals actually reachable from the roots are counted, so
-        ``size(FALSE) == size(TRUE) == 1`` and a literal has size 3.
+        ``f`` may be a single handle or an iterable of handles (shared
+        size).  Terminal polarities are counted as reached — so
+        ``size(FALSE) == size(TRUE) == 1``, a literal has size 3, and
+        ``size(f) == size(not_(f))`` always (they share every node).
         """
         roots = [f] if isinstance(f, int) else list(f)
         seen = set()
@@ -895,14 +1034,16 @@ class BDD:
         stack = list(roots)
         while stack:
             n = stack.pop()
-            if n in (FALSE, TRUE):
+            if n < 2:
                 terminals.add(n)
                 continue
-            if n in seen:
+            idx = n >> 1
+            if idx in seen:
                 continue
-            seen.add(n)
-            stack.append(self._lo[n])
-            stack.append(self._hi[n])
+            seen.add(idx)
+            c = n & 1
+            stack.append(self._lo[idx] ^ c)
+            stack.append(self._hi[idx] ^ c)
         return len(seen) + len(terminals)
 
     def var_population(self, var) -> int:
@@ -910,17 +1051,27 @@ class BDD:
         v = var if isinstance(var, int) else self.var_index(var)
         return len(self._unique[v])
 
+    def complement_edge_count(self) -> int:
+        """Number of live nodes whose stored else-edge is complemented."""
+        var_arr = self._var
+        lo_arr = self._lo
+        return sum(
+            1 for i in range(1, len(var_arr))
+            if var_arr[i] >= 0 and (lo_arr[i] & 1)
+        )
+
     def eval(self, f: int, assignment: Dict) -> bool:
         """Evaluate ``f`` under a total assignment (name or index keys)."""
         norm = {
             (k if isinstance(k, int) else self.var_index(k)): bool(v)
             for k, v in assignment.items()
         }
-        while f not in (FALSE, TRUE):
-            var = self._var[f]
+        while f >= 2:
+            idx = f >> 1
+            var = self._var[idx]
             if var not in norm:
                 raise BddError(f"assignment misses variable {self.var_name(var)!r}")
-            f = self._hi[f] if norm[var] else self._lo[f]
+            f = (self._hi[idx] if norm[var] else self._lo[idx]) ^ (f & 1)
         return f == TRUE
 
     def sat_count(self, f: int, care_vars: Optional[Sequence] = None) -> int:
@@ -928,6 +1079,8 @@ class BDD:
 
         ``care_vars`` defaults to all declared variables; it must contain
         the support of ``f``.  Exact arbitrary-precision arithmetic.
+        Complement edges are handled by counting regular nodes and taking
+        the complement against the suffix space at each complemented arc.
         """
         import bisect
 
@@ -949,32 +1102,33 @@ class BDD:
 
         memo: Dict[int, int] = {}
 
-        def walk(node: int) -> int:
-            # Models over care vars at levels >= level(node).
-            if node == FALSE:
+        def count_from(handle: int, from_rank: int) -> int:
+            # Models of ``handle`` over care vars of rank >= from_rank.
+            if handle == TRUE:
+                return 1 << (n - from_rank)
+            if handle == FALSE:
                 return 0
-            if node == TRUE:
-                return 1
-            got = memo.get(node)
+            idx = handle >> 1
+            node_rank = rank(self._level_of_var[self._var[idx]])
+            c = walk(idx)
+            if handle & 1:
+                c = (1 << (n - node_rank)) - c
+            return c << (node_rank - from_rank)
+
+        def walk(idx: int) -> int:
+            # Models of the *regular* node over ranks >= its own rank.
+            got = memo.get(idx)
             if got is not None:
                 return got
-            lvl = self._node_level(node)
-            total = 0
-            for child in (self._lo[node], self._hi[node]):
-                c = walk(child)
-                if c:
-                    child_rank = n if child in (FALSE, TRUE) else rank(
-                        self._node_level(child)
-                    )
-                    total += c << (child_rank - rank(lvl) - 1)
-            memo[node] = total
+            r = rank(self._level_of_var[self._var[idx]])
+            total = (
+                count_from(self._lo[idx], r + 1)
+                + count_from(self._hi[idx], r + 1)
+            )
+            memo[idx] = total
             return total
 
-        if f == FALSE:
-            return 0
-        if f == TRUE:
-            return 1 << n
-        return walk(f) << rank(self._node_level(f))
+        return count_from(f, 0)
 
     def pick_cube(self, f: int, care_vars: Optional[Sequence] = None) -> Optional[Dict[int, bool]]:
         """Return one satisfying partial assignment, or None if ``f`` is FALSE.
@@ -987,14 +1141,17 @@ class BDD:
             return None
         cube: Dict[int, bool] = {}
         node = f
-        while node not in (FALSE, TRUE):
-            var = self._var[node]
-            if self._lo[node] != FALSE:
+        while node >= 2:
+            c = node & 1
+            idx = node >> 1
+            var = self._var[idx]
+            lo = self._lo[idx] ^ c
+            if lo != FALSE:
                 cube[var] = False
-                node = self._lo[node]
+                node = lo
             else:
                 cube[var] = True
-                node = self._hi[node]
+                node = self._hi[idx] ^ c
         if care_vars is not None:
             for v in care_vars:
                 idx = v if isinstance(v, int) else self.var_index(v)
@@ -1015,9 +1172,12 @@ class BDD:
                     yield dict(acc)
                 return
             var = care_sorted[idx]
-            node_var = self._var[node] if node not in (FALSE, TRUE) else None
+            node_var = self._var[node >> 1] if node >= 2 else None
             if node_var == var:
-                for val, child in ((False, self._lo[node]), (True, self._hi[node])):
+                c = node & 1
+                n_idx = node >> 1
+                lo, hi = self._lo[n_idx] ^ c, self._hi[n_idx] ^ c
+                for val, child in ((False, lo), (True, hi)):
                     acc[var] = val
                     yield from expand(child, idx + 1, acc)
                 del acc[var]
@@ -1059,21 +1219,23 @@ class BDD:
         """Mark-and-sweep collection; returns the number of nodes freed.
 
         Keeps every node reachable from registered roots plus
-        ``extra_roots``.  Node ids of live nodes are stable.  The computed
-        cache is cleared only when nodes were actually freed (a no-op
-        sweep cannot leave dangling cache entries).
+        ``extra_roots``.  Node indices of live nodes are stable (marking
+        masks off the complement bit, so both polarities survive
+        together).  The computed cache is cleared only when nodes were
+        actually freed (a no-op sweep cannot leave dangling entries).
         """
-        marked = {FALSE, TRUE}
-        stack = list(self._roots.values()) + list(extra_roots)
+        marked = set()
+        stack = [h >> 1 for h in self._roots.values()]
+        stack.extend(h >> 1 for h in extra_roots)
         while stack:
-            n = stack.pop()
-            if n in marked:
+            idx = stack.pop()
+            if idx == 0 or idx in marked:
                 continue
-            marked.add(n)
-            stack.append(self._lo[n])
-            stack.append(self._hi[n])
+            marked.add(idx)
+            stack.append(self._lo[idx] >> 1)
+            stack.append(self._hi[idx] >> 1)
         freed = 0
-        for node in range(2, len(self._var)):
+        for node in range(1, len(self._var)):
             if node in marked or self._var[node] < 0:
                 continue
             table = self._unique[self._var[node]]
@@ -1094,17 +1256,210 @@ class BDD:
         return freed
 
     def maybe_gc(self, extra_roots: Iterable[int] = ()) -> int:
-        """Run a collection iff auto-GC has flagged one as due.
+        """Run pending collections/reorders iff auto-managed ones are due.
 
         Engines call this at *safe points* — moments where every node
         they hold is either a registered root or passed via
         ``extra_roots`` — so intermediates held only in operator locals
-        are never swept.  Returns the number of nodes freed (0 when no
-        collection ran).
+        are never swept.  A pending dynamic reorder (see ``auto_reorder``)
+        runs here too, under the same contract: in-place sifting keeps
+        every root handle valid.  Returns the number of nodes freed by
+        GC (0 when no collection ran).
         """
-        if not self._gc_pending:
+        if not (self._gc_pending or self._reorder_pending):
             return 0
-        return self.gc(extra_roots=extra_roots)
+        extra = list(extra_roots)
+        freed = 0
+        if self._gc_pending:
+            freed = self.gc(extra_roots=extra)
+        if self._reorder_pending and not self._in_reorder:
+            self.reorder_now(extra_roots=extra)
+        return freed
+
+    def reorder_now(self, extra_roots: Iterable[int] = ()) -> int:
+        """Sift the variable order in place; returns nodes saved.
+
+        Must only be called at a safe point (everything live registered
+        as a root or passed via ``extra_roots``).  Root handles remain
+        valid — swaps relabel nodes without moving their indices.
+        """
+        from repro.bdd.ordering import sift_in_place
+
+        if self._in_reorder:
+            return 0
+        extra = list(extra_roots)
+        self._in_reorder = True
+        try:
+            with self.tracer.span("bdd.reorder", cat="bdd"):
+                # Sifting frees dead nodes eagerly via refcounts, so start
+                # from a collected heap for an accurate count.
+                self.gc(extra_roots=extra)
+                before = len(self)
+                stats = sift_in_place(self, extra_roots=extra)
+                after = len(self)
+                # Swaps invalidate structure-keyed cache entries.
+                self._cache.clear()
+        finally:
+            self._in_reorder = False
+            self._reorder_pending = False
+        self.reorder_count += 1
+        self.sift_swaps += stats["swaps"]
+        self.sift_fast_swaps += stats["fast_swaps"]
+        self.sift_lb_skips += stats["lb_skips"]
+        if self.auto_reorder is not None:
+            self._reorder_watermark = max(self.auto_reorder, 2 * after)
+        self.tracer.instant(
+            "bdd.reorder_done", cat="bdd",
+            before=before, after=after,
+            swaps=stats["swaps"], fast_swaps=stats["fast_swaps"],
+            runs=self.reorder_count,
+        )
+        return before - after
+
+    # ------------------------------------------------------------------
+    # In-place level-swap primitives (used by repro.bdd.ordering.sift_in_place)
+    # ------------------------------------------------------------------
+
+    def _build_refcounts(self, extra_roots: Iterable[int] = ()) -> List[int]:
+        """Per-index reference counts from live nodes and roots.
+
+        Valid only at a safe point right after :meth:`gc`: every live
+        node is then reachable from the counted references, so sifting
+        can free nodes eagerly the moment their count drops to zero.
+        """
+        refs = [0] * len(self._var)
+        var_arr = self._var
+        for idx in range(1, len(var_arr)):
+            if var_arr[idx] < 0:
+                continue
+            refs[self._lo[idx] >> 1] += 1
+            refs[self._hi[idx] >> 1] += 1
+        for h in self._roots.values():
+            refs[h >> 1] += 1
+        for h in extra_roots:
+            refs[h >> 1] += 1
+        return refs
+
+    def _deref(self, handle: int, refs: List[int]) -> None:
+        """Drop one reference; recursively free nodes reaching zero."""
+        stack = [handle >> 1]
+        while stack:
+            idx = stack.pop()
+            if idx == 0:
+                continue
+            refs[idx] -= 1
+            if refs[idx] == 0 and self._var[idx] >= 0:
+                table = self._unique[self._var[idx]]
+                table.pop((self._lo[idx], self._hi[idx]), None)
+                stack.append(self._lo[idx] >> 1)
+                stack.append(self._hi[idx] >> 1)
+                self._var[idx] = -1
+                self._free.append(idx)
+
+    def _mk_ref(self, var: int, lo: int, hi: int, refs: List[int]) -> int:
+        """Refcount-aware :meth:`_mk` used during in-place swaps.
+
+        Newly created nodes charge one reference to each child; found
+        nodes charge nothing (the caller accounts for its own reference).
+        Never arms auto-GC/auto-reorder — we are inside the reorder.
+        """
+        if lo == hi:
+            return lo
+        neg = hi & 1
+        if neg:
+            lo ^= 1
+            hi ^= 1
+        table = self._unique[var]
+        key = (lo, hi)
+        node = table.get(key)
+        if node is None:
+            if self._free:
+                node = self._free.pop()
+                self._var[node] = var
+                self._lo[node] = lo
+                self._hi[node] = hi
+            else:
+                node = len(self._var)
+                self._var.append(var)
+                self._lo.append(lo)
+                self._hi.append(hi)
+                refs.append(0)
+            table[key] = node
+            refs[node] = 0
+            refs[lo >> 1] += 1
+            refs[hi >> 1] += 1
+            live = len(self._var) - len(self._free) + 1
+            if live > self.peak_live_nodes:
+                self.peak_live_nodes = live
+        return (node << 1) | neg
+
+    def _swap_levels_only(self, lvl: int) -> None:
+        """Bookkeeping-only swap of levels ``lvl`` and ``lvl+1``.
+
+        Correct exactly when the two variables do not interact (no live
+        function depends on both), so no node labelled with the upper
+        variable reaches one labelled with the lower.
+        """
+        x = self._var_at_level[lvl]
+        y = self._var_at_level[lvl + 1]
+        self._var_at_level[lvl], self._var_at_level[lvl + 1] = y, x
+        self._level_of_var[x], self._level_of_var[y] = lvl + 1, lvl
+
+    def _swap_adjacent(self, lvl: int, refs: List[int]) -> int:
+        """Swap the variables at ``lvl`` and ``lvl+1`` in place.
+
+        The classic sifting primitive: every node labelled ``x`` (upper)
+        that reaches a ``y`` node is relabelled ``y`` in place — keeping
+        its index, hence every external handle — with freshly built ``x``
+        children.  Nodes whose reference count drops to zero are freed
+        eagerly.  The canonical form survives because a handle's polarity
+        equals its value on the all-ones assignment, which no variable
+        order can change.  Returns the number of nodes rewritten.
+        """
+        x = self._var_at_level[lvl]
+        y = self._var_at_level[lvl + 1]
+        self._swap_levels_only(lvl)
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        unique_x = self._unique[x]
+        unique_y = self._unique[y]
+        moved = 0
+        for node in list(unique_x.values()):
+            lo = lo_arr[node]
+            hi = hi_arr[node]
+            lo_idx = lo >> 1
+            hi_idx = hi >> 1
+            lo_tests_y = var_arr[lo_idx] == y
+            hi_tests_y = var_arr[hi_idx] == y
+            if not (lo_tests_y or hi_tests_y):
+                continue
+            if lo_tests_y:
+                c = lo & 1
+                f00 = lo_arr[lo_idx] ^ c
+                f01 = hi_arr[lo_idx] ^ c
+            else:
+                f00 = f01 = lo
+            if hi_tests_y:
+                c = hi & 1
+                f10 = lo_arr[hi_idx] ^ c
+                f11 = hi_arr[hi_idx] ^ c
+            else:
+                f10 = f11 = hi
+            new_lo = self._mk_ref(x, f00, f10, refs)
+            new_hi = self._mk_ref(x, f01, f11, refs)
+            # Relabel in place: same index, same function, y on top now.
+            del unique_x[(lo, hi)]
+            var_arr[node] = y
+            lo_arr[node] = new_lo
+            hi_arr[node] = new_hi
+            unique_y[(new_lo, new_hi)] = node
+            refs[new_lo >> 1] += 1
+            refs[new_hi >> 1] += 1
+            self._deref(lo, refs)
+            self._deref(hi, refs)
+            moved += 1
+        return moved
 
     def clear_cache(self) -> None:
         """Drop the computed cache (useful to bound memory in long runs)."""
@@ -1145,19 +1500,28 @@ class BDD:
             return "FALSE"
         if f == TRUE:
             return "TRUE"
-        name = self.var_name(self._var[f])
+        idx = f >> 1
+        c = f & 1
+        name = self.var_name(self._var[idx])
         return (
-            f"ite({name}, {self.to_expr(self._hi[f])}, {self.to_expr(self._lo[f])})"
+            f"ite({name}, {self.to_expr(self._hi[idx] ^ c)}, "
+            f"{self.to_expr(self._lo[idx] ^ c)})"
         )
 
     def stats(self) -> Dict[str, int]:
         """Manager statistics (live nodes, cache entries, variables, GCs)."""
         return {
             "live_nodes": len(self),
-            "allocated_nodes": len(self._var),
+            "allocated_nodes": len(self._var) + 1,
             "cache_entries": len(self._cache),
             "cache_evictions": self.cache_evictions,
             "peak_live_nodes": self.peak_live_nodes,
             "variables": self.var_count,
             "gc_runs": self.gc_count,
+            "not_calls": self.not_calls,
+            "std_rewrites": self.std_rewrites,
+            "complement_edges": self.complement_edge_count(),
+            "reorder_runs": self.reorder_count,
+            "reorder_swaps": self.sift_swaps,
+            "reorder_fast_swaps": self.sift_fast_swaps,
         }

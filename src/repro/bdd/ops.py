@@ -28,12 +28,17 @@ def transfer(f: int, src: BDD, dst: BDD, var_map: Dict[int, int]) -> int:
             return dst.false
         if node == TRUE:
             return dst.true
+        if node & 1:
+            # Complement edges transfer for free: copy the regular node
+            # once and flip the bit (dst is complement-edged too).
+            return walk(node ^ 1) ^ 1
         got = memo.get(node)
         if got is not None:
             return got
-        var = src._var[node]
-        lo = walk(src._lo[node])
-        hi = walk(src._hi[node])
+        idx = node >> 1
+        var = src._var[idx]
+        lo = walk(src._lo[idx])
+        hi = walk(src._hi[idx])
         res = dst.ite(dst.var(var_map[var]), hi, lo)
         memo[node] = res
         return res

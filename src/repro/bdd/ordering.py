@@ -15,17 +15,24 @@ The affinity-based linear arrangement below is the classic greedy
 approximation: repeatedly append the variable with the largest total edge
 weight to the already-placed prefix.
 
-Dynamic reordering is provided in *rebuild* form: a new manager is
-created with the candidate order and all live roots are transferred
-(:func:`repro.bdd.ops.transfer`).  ``sift`` searches single-variable
-moves with that evaluator.  This trades the constant-factor speed of
-in-place sifting for simplicity and safety — adequate at the scale of the
-paper's designs, and honest about its cost.
+Dynamic reordering comes in two forms:
+
+* *rebuild* (``reorder``/``sift``): a new manager is created with the
+  candidate order and all live roots are transferred
+  (:func:`repro.bdd.ops.transfer`).  Simple and safe, but handles from
+  the old manager die with it.
+* *in place* (``sift_in_place``): classic Rudell sifting over adjacent
+  level swaps inside one manager.  Node indices — and therefore every
+  registered root handle — stay valid, which is what lets the manager's
+  ``auto_reorder`` knob run it at GC safe points.  A variable-interaction
+  matrix turns swaps of non-interacting levels into pure bookkeeping,
+  and a lower-bound estimate skips whole directions that cannot beat the
+  best size already found.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.bdd.manager import BDD
 from repro.bdd.ops import transfer
@@ -213,3 +220,145 @@ def sift(
                 break
         span.add(final_size=best_size)
     return reorder(src, order, roots)
+
+
+# ----------------------------------------------------------------------
+# In-place sifting (complement-edge safe)
+# ----------------------------------------------------------------------
+
+
+def interaction_masks(bdd: BDD, roots: Iterable[int]) -> List[int]:
+    """Per-variable interaction bitmasks over the supports of ``roots``.
+
+    Variables *interact* when some root function depends on both.  The
+    relation is order-independent, so one matrix serves a whole sift
+    session.  If ``x`` and ``y`` do not interact, no live node labelled
+    ``x`` can reach a ``y`` node (after a GC every live node belongs to
+    some root's DAG), making their level swap a pure bookkeeping move.
+    """
+    masks = [0] * bdd.var_count
+    seen = set()
+    for f in roots:
+        if (f >> 1) in seen:
+            continue
+        seen.add(f >> 1)
+        sup = bdd.support(f)
+        for i, u in enumerate(sup):
+            mu = masks[u]
+            for v in sup[i + 1:]:
+                mu |= 1 << v
+                masks[v] |= 1 << u
+            masks[u] = mu
+    return masks
+
+
+def _sift_one(
+    bdd: BDD,
+    var: int,
+    refs: List[int],
+    mask: int,
+    max_growth: float,
+    stats: Dict[str, int],
+) -> None:
+    """Sift one variable to its locally best level and leave it there."""
+    nvars = bdd.var_count
+
+    def step(down: bool) -> None:
+        lvl = bdd.level(var)
+        swap_lvl = lvl if down else lvl - 1
+        other = bdd.var_at(swap_lvl + 1 if down else swap_lvl)
+        if (mask >> other) & 1:
+            bdd._swap_adjacent(swap_lvl, refs)
+            stats["swaps"] += 1
+        else:
+            bdd._swap_levels_only(swap_lvl)
+            stats["fast_swaps"] += 1
+
+    def direction_gain_bound(down: bool) -> int:
+        # Moving only ``var`` can free at most its own nodes plus those of
+        # the interacting levels it crosses; non-interacting levels are
+        # provably size-neutral.  Returns 0 when nothing interacts.
+        lvl = bdd.level(var)
+        levels = range(lvl + 1, nvars) if down else range(0, lvl)
+        gain = 0
+        interacts = False
+        for l in levels:
+            u = bdd.var_at(l)
+            if (mask >> u) & 1:
+                interacts = True
+                gain += bdd.var_population(u)
+        if not interacts:
+            return 0
+        return bdd.var_population(var) + gain
+
+    best_size = len(bdd)
+    best_lvl = bdd.level(var)
+
+    def walk(down: bool) -> None:
+        nonlocal best_size, best_lvl
+        bound = direction_gain_bound(down)
+        if bound == 0 or len(bdd) - bound >= best_size:
+            stats["lb_skips"] += 1
+            return
+        while True:
+            lvl = bdd.level(var)
+            if (down and lvl == nvars - 1) or (not down and lvl == 0):
+                break
+            step(down)
+            size = len(bdd)
+            if size < best_size:
+                best_size = size
+                best_lvl = bdd.level(var)
+            if size > max_growth * best_size:
+                break
+
+    # Try the closer end first (Rudell), then sweep through to the other.
+    start = bdd.level(var)
+    first_down = start >= nvars // 2
+    walk(first_down)
+    walk(not first_down)
+    # Settle back at the best level seen.
+    while bdd.level(var) != best_lvl:
+        step(down=bdd.level(var) < best_lvl)
+
+
+def sift_in_place(
+    bdd: BDD,
+    extra_roots: Iterable[int] = (),
+    max_growth: float = 1.2,
+    max_vars: int = 0,
+) -> Dict[str, int]:
+    """Rudell sifting by in-place adjacent level swaps.
+
+    Must run at a safe point right after a GC: everything live has to be
+    reachable from registered roots plus ``extra_roots``, because nodes
+    orphaned by a swap are freed eagerly via reference counts.  All
+    externally held root handles stay valid.  ``max_vars`` bounds how
+    many variables are sifted (0 = all); ``max_growth`` aborts a
+    direction once the size exceeds that multiple of the best seen.
+    Returns counters: full/fast swaps, lower-bound skips, sizes.
+    """
+    extra = list(extra_roots)
+    stats = {
+        "swaps": 0,
+        "fast_swaps": 0,
+        "lb_skips": 0,
+        "vars_sifted": 0,
+        "start_size": len(bdd),
+        "final_size": len(bdd),
+    }
+    if bdd.var_count < 2:
+        return stats
+    roots = list(bdd._roots.values()) + extra
+    refs = bdd._build_refcounts(extra_roots=extra)
+    masks = interaction_masks(bdd, roots)
+    todo = population_order(bdd)
+    if max_vars:
+        todo = todo[:max_vars]
+    for var in todo:
+        if bdd.var_population(var) == 0:
+            continue
+        stats["vars_sifted"] += 1
+        _sift_one(bdd, var, refs, masks[var], max_growth, stats)
+    stats["final_size"] = len(bdd)
+    return stats

@@ -48,11 +48,13 @@ class HsisShell:
         self,
         auto_gc: Optional[int] = None,
         cache_limit: Optional[int] = None,
+        auto_reorder: Optional[int] = None,
         show_stats: bool = False,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.auto_gc = auto_gc
         self.cache_limit = cache_limit
+        self.auto_reorder = auto_reorder
         self.show_stats = show_stats
         self.tracer = tracer
         self.design = None
@@ -113,7 +115,7 @@ class HsisShell:
     def _make_fsm(self, flat) -> SymbolicFsm:
         return SymbolicFsm(
             flat, auto_gc=self.auto_gc, cache_limit=self.cache_limit,
-            tracer=self.tracer,
+            auto_reorder=self.auto_reorder, tracer=self.tracer,
         )
 
     def _after_load(self) -> str:
@@ -492,7 +494,7 @@ class HsisShell:
             seed0 = int(args[1]) if len(args) > 1 else 0
         except ValueError as exc:
             raise CliError(f"fuzz: bad number: {exc}")
-        sweep = run_sweep(trials, seed0=seed0)
+        sweep = run_sweep(trials, seed0=seed0, auto_reorder=self.auto_reorder)
         return sweep.summary()
 
     def cmd_help(self, args: List[str]) -> str:
@@ -561,6 +563,13 @@ def _fuzz_main(argv: List[str]) -> int:
         help="shard the seed range across N worker processes (default 1)",
     )
     parser.add_argument(
+        "--auto-reorder", type=_positive_int, default=None, metavar="N",
+        help=(
+            "arm dynamic variable reordering (sifting at safe points) in "
+            "every engine under test once its table exceeds N nodes"
+        ),
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help=(
             "record a structured event trace (.jsonl, .txt summary, or "
@@ -588,6 +597,7 @@ def _fuzz_main(argv: List[str]) -> int:
             corpus_dir=opts.corpus,
             shrink=not opts.no_shrink,
             progress=progress,
+            auto_reorder=opts.auto_reorder,
         )
     else:
         sweep = run_sweep(
@@ -597,6 +607,7 @@ def _fuzz_main(argv: List[str]) -> int:
             corpus_dir=opts.corpus,
             shrink=not opts.no_shrink,
             progress=progress,
+            auto_reorder=opts.auto_reorder,
         )
     print(sweep.summary())
     if opts.stats:
@@ -737,6 +748,10 @@ def _profile_main(argv: List[str]) -> int:
         help="skip model checking even when properties are available",
     )
     parser.add_argument(
+        "--auto-reorder", type=_positive_int, default=None, metavar="N",
+        help="arm dynamic variable reordering past N live nodes",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="also write the raw trace (.jsonl / .txt / Chrome JSON)",
     )
@@ -747,7 +762,7 @@ def _profile_main(argv: List[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     tracer = Tracer()
-    fsm = SymbolicFsm(flat, tracer=tracer)
+    fsm = SymbolicFsm(flat, tracer=tracer, auto_reorder=opts.auto_reorder)
     if not opts.partitioned:
         fsm.build_transition(method=opts.method)
     reach = fsm.reachable(partitioned=opts.partitioned)
@@ -795,6 +810,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="bound the BDD computed cache to N entries",
     )
     parser.add_argument(
+        "--auto-reorder", type=_positive_int, default=None, metavar="N",
+        help=(
+            "arm dynamic variable reordering (sifting at engine safe "
+            "points) once the BDD table exceeds N live nodes"
+        ),
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help=(
             "record a structured event trace of every engine run "
@@ -806,6 +828,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     shell = HsisShell(
         auto_gc=opts.auto_gc,
         cache_limit=opts.cache_limit,
+        auto_reorder=opts.auto_reorder,
         show_stats=opts.stats,
         tracer=tracer,
     )

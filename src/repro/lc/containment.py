@@ -93,12 +93,15 @@ def _check_containment(
     early_fail: bool,
     early_fail_interval: int,
 ) -> LcResult:
+    bdd = fsm.bdd
+    spec = system_fairness if system_fairness is not None else FairnessSpec()
+    # The caller's constraint handles must survive the GC/reorder safe
+    # points inside build_transition, so root them before building.
+    bdd.register_root_group("lc.sysfair", spec.nodes())
     monitor = attach(fsm, automaton)
     fsm.build_transition(method=quantify_method)
     graph = FairGraph(fsm)
-    bdd = fsm.bdd
 
-    spec = system_fairness if system_fairness is not None else FairnessSpec()
     sys_norm = spec.normalize(bdd, bdd.true)
     property_streett = complement_rabin(monitor.rabin_pairs_bdd())
     combined = FairnessSpec(list(spec) + list(property_streett)).normalize(
@@ -151,6 +154,13 @@ def _check_containment(
             seconds=0.0,
         )
         # Rebuild the onion rings up to the stop depth for the debugger.
+        # The witness SCC must survive the safe points of that second
+        # reachability pass, so root its nodes first.
+        bdd.register_root_group(
+            "lc.early_scc",
+            [early_scc.states, early_scc.trans]
+            + [edges for edges, _label in early_scc.required_edges],
+        )
         reach = fsm.reachable(max_iterations=early_depth + 1)
 
     if early_scc is not None:

@@ -60,18 +60,18 @@ class FairGraph:
         """Successor states of ``states`` under ``trans``."""
         t = self.trans if trans is None else trans
         nxt = self.bdd.and_exists(t, states, self._x_cube)
-        return self.bdd.rename(nxt, self._y_to_x)
+        return self.bdd.rename(nxt, self._y_to_x, strict=False)
 
     def pre(self, states: int, trans: Optional[int] = None) -> int:
         """Predecessor states of ``states`` under ``trans``."""
         t = self.trans if trans is None else trans
-        primed = self.bdd.rename(states, self._x_to_y)
+        primed = self.bdd.rename(states, self._x_to_y, strict=False)
         return self.bdd.and_exists(t, primed, self._y_cube)
 
     def restrict(self, trans: int, states: int) -> int:
         """Edges with both endpoints inside ``states``."""
         bdd = self.bdd
-        primed = bdd.rename(states, self._x_to_y)
+        primed = bdd.rename(states, self._x_to_y, strict=False)
         return bdd.and_(bdd.and_(trans, states), primed)
 
     def edge_sources(self, edges: int, trans: int) -> int:
@@ -79,10 +79,10 @@ class FairGraph:
         return self.bdd.exist(self._y_cube, self.bdd.and_(trans, edges))
 
     def prime(self, states: int) -> int:
-        return self.bdd.rename(states, self._x_to_y)
+        return self.bdd.rename(states, self._x_to_y, strict=False)
 
     def unprime(self, states: int) -> int:
-        return self.bdd.rename(states, self._y_to_x)
+        return self.bdd.rename(states, self._y_to_x, strict=False)
 
     # -- closures ----------------------------------------------------------
 

@@ -83,13 +83,15 @@ def encode(
     order_method: str = "affinity",
     auto_gc: Optional[int] = None,
     cache_limit: Optional[int] = None,
+    auto_reorder: Optional[int] = None,
 ) -> EncodedNetwork:
     """Encode a flat model (no subcircuits) into an :class:`EncodedNetwork`.
 
     ``order_method`` is ``"affinity"`` (interacting-FSM heuristic) or
     ``"declared"`` (first-use order; the naive baseline for the ordering
-    ablation).  ``auto_gc`` and ``cache_limit`` configure the kernel's
-    self-management knobs (see :class:`repro.bdd.manager.BDD`).
+    ablation).  ``auto_gc``, ``cache_limit`` and ``auto_reorder``
+    configure the kernel's self-management knobs (see
+    :class:`repro.bdd.manager.BDD`).
     """
     if model.subckts:
         raise BlifMvError("encode() needs a flat model; call flatten() first")
@@ -101,7 +103,9 @@ def encode(
     else:
         raise ValueError(f"unknown order_method {order_method!r}")
 
-    mdd = MddManager(BDD(auto_gc=auto_gc, cache_limit=cache_limit))
+    mdd = MddManager(
+        BDD(auto_gc=auto_gc, cache_limit=cache_limit, auto_reorder=auto_reorder)
+    )
     latch_of_output = {l.output: l for l in model.latches}
     variables: Dict[str, MvVar] = {}
     latch_vars: Dict[str, LatchVars] = {}

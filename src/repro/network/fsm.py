@@ -61,6 +61,7 @@ class SymbolicFsm:
         order_method: str = "affinity",
         auto_gc: Optional[int] = None,
         cache_limit: Optional[int] = None,
+        auto_reorder: Optional[int] = None,
         tracer: Optional[Tracer] = None,
     ):
         self.stats = EngineStats()
@@ -72,6 +73,7 @@ class SymbolicFsm:
                 order_method=order_method,
                 auto_gc=auto_gc,
                 cache_limit=cache_limit,
+                auto_reorder=auto_reorder,
             )
         self.mdd: MddManager = self.network.mdd
         self.bdd: BDD = self.mdd.bdd
@@ -216,12 +218,12 @@ class SymbolicFsm:
         """Forward image: states reachable from ``states`` in one step."""
         t = self.require_transition() if trans is None else trans
         nxt = self.bdd.and_exists(t, states, self.x_cube())
-        return self.bdd.rename(nxt, self.y_to_x())
+        return self.bdd.rename(nxt, self.y_to_x(), strict=False)
 
     def preimage(self, states: int, trans: Optional[int] = None) -> int:
         """Backward image: states with a successor in ``states``."""
         t = self.require_transition() if trans is None else trans
-        primed = self.bdd.rename(states, self.x_to_y())
+        primed = self.bdd.rename(states, self.x_to_y(), strict=False)
         return self.bdd.and_exists(t, primed, self.y_cube())
 
     def partition_schedule(self) -> ImageSchedule:
@@ -274,7 +276,7 @@ class SymbolicFsm:
                 plan_steps=len(plan.steps),
                 peak_size=result.peak_size,
             )
-        return self.bdd.rename(result.node, self.y_to_x())
+        return self.bdd.rename(result.node, self.y_to_x(), strict=False)
 
     # ------------------------------------------------------------------
     # Reachability
@@ -305,6 +307,14 @@ class SymbolicFsm:
             current = self.init if init is None else init
             reached = current
             rings = [current]
+            # The image computations below run their own GC/reorder safe
+            # points that only know about registered roots and the
+            # quantification-local pool — the onion rings must be durable
+            # roots, not just extra_roots at this loop's own safe point.
+            # (frontier is always rings[-1] and current is rings[0] when
+            # image() runs, so the group covers every handle the loop
+            # holds besides reached, which is registered separately.)
+            bdd.register_root_group("fsm.rings", rings)
             iterations = 0
             converged = False
             frontier = current
@@ -325,6 +335,7 @@ class SymbolicFsm:
                     break
                 reached = bdd.or_(reached, frontier)
                 rings.append(frontier)
+                bdd.register_root_group("fsm.rings", rings)
                 bdd.register_root("fsm.reached", reached)
                 if tracer.enabled:
                     tracer.instant(

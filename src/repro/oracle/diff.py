@@ -122,11 +122,21 @@ class SweepReport:
 # ----------------------------------------------------------------------
 
 
-def bddops_trial(rng: random.Random, seed: int) -> List[Divergence]:
-    """Grow a random operation DAG, verifying every node exhaustively."""
+def bddops_trial(
+    rng: random.Random, seed: int, auto_reorder: Optional[int] = None
+) -> List[Divergence]:
+    """Grow a random operation DAG, verifying every node exhaustively.
+
+    With ``auto_reorder`` the kernel's dynamic sifting is armed and a
+    ``maybe_gc`` safe point (with the whole pool as roots) runs after
+    every step, so reordering fires mid-trial and every node is
+    re-verified against its truth table afterwards — proving in-place
+    sifting never changes a function.
+    """
     divergences: List[Divergence] = []
     n = rng.choice([4, 5])
-    bdd = BDD(cache_limit=rng.choice([None, None, 512]))
+    bdd = BDD(cache_limit=rng.choice([None, None, 512]),
+              auto_reorder=auto_reorder)
     for j in range(n):
         bdd.add_var(f"v{j}")
     all_vars = list(range(n))
@@ -212,6 +222,9 @@ def bddops_trial(rng: random.Random, seed: int) -> List[Divergence]:
         if not verify(node, table, f"step {step} ({op})"):
             return divergences
         pool.append((node, table, f"t{step}"))
+        # Safe point: everything live is in the pool, so GC/reordering
+        # here must preserve every pooled function verbatim.
+        bdd.maybe_gc(extra_roots=[entry[0] for entry in pool])
 
     # Generalized cofactors agree on the care set; pick_cube satisfies.
     (f, tf, _), (c, tc, _) = pick(2)
@@ -281,9 +294,17 @@ def _fmt_states(states: Set[State], limit: int = 6) -> str:
     return "{" + ", ".join("/".join(s) for s in shown) + "}" + extra
 
 
-def run_case(case: dict, seed: int, stats: EngineStats) -> List[Divergence]:
+def run_case(
+    case: dict,
+    seed: int,
+    stats: EngineStats,
+    auto_reorder: Optional[int] = None,
+) -> List[Divergence]:
     """Cross-check one generated case end-to-end.  Engine exceptions are
-    reported as ``crash`` divergences rather than raised."""
+    reported as ``crash`` divergences rather than raised.
+
+    ``auto_reorder`` arms dynamic sifting in every symbolic engine the
+    case spins up; the verdicts must not change."""
     divergences: List[Divergence] = []
     model = case["model"]
     with stats.phase("fuzz.oracle"):
@@ -293,7 +314,7 @@ def run_case(case: dict, seed: int, stats: EngineStats) -> List[Divergence]:
 
     # -- reachability --------------------------------------------------
     with stats.phase("fuzz.reach"):
-        fsm = SymbolicFsm(model, tracer=stats.tracer)
+        fsm = SymbolicFsm(model, tracer=stats.tracer, auto_reorder=auto_reorder)
         fsm.build_transition(method=case["build_method"])
         reach = fsm.reachable(partitioned=case["partitioned"])
         sym_reached = decode_states(fsm, reach.reached, latch_names)
@@ -371,7 +392,9 @@ def run_case(case: dict, seed: int, stats: EngineStats) -> List[Divergence]:
     # -- language containment ------------------------------------------
     with stats.phase("fuzz.lc"):
         automaton = automaton_from_desc(case["automaton"])
-        lc_fsm = SymbolicFsm(model, tracer=stats.tracer)
+        lc_fsm = SymbolicFsm(
+            model, tracer=stats.tracer, auto_reorder=auto_reorder
+        )
         lc_spec = fairness_spec_from_descs(lc_fsm, case["fairness"])
         lc = check_containment(
             lc_fsm, automaton, system_fairness=lc_spec,
@@ -407,9 +430,14 @@ def run_case(case: dict, seed: int, stats: EngineStats) -> List[Divergence]:
     return divergences
 
 
-def _safe_run_case(case: dict, seed: int, stats: EngineStats) -> List[Divergence]:
+def _safe_run_case(
+    case: dict,
+    seed: int,
+    stats: EngineStats,
+    auto_reorder: Optional[int] = None,
+) -> List[Divergence]:
     try:
-        return run_case(case, seed, stats)
+        return run_case(case, seed, stats, auto_reorder=auto_reorder)
     except Exception:
         tail = traceback.format_exc().strip().splitlines()[-1]
         return [Divergence("crash", seed, tail)]
@@ -433,16 +461,21 @@ def run_trial(
     stats: Optional[EngineStats] = None,
     max_space: int = ORACLE_MAX_SPACE,
     keep_case: bool = False,
+    auto_reorder: Optional[int] = None,
 ) -> TrialReport:
     """One full differential trial from one seed."""
     stats = stats if stats is not None else EngineStats()
     start = time.perf_counter()
     divergences: List[Divergence] = []
     with stats.phase("fuzz.bddops"):
-        divergences.extend(bddops_trial(_ops_rng(seed), seed))
+        divergences.extend(
+            bddops_trial(_ops_rng(seed), seed, auto_reorder=auto_reorder)
+        )
     with stats.phase("fuzz.gen"):
         case = gen_case(_case_rng(seed), max_space=max_space)
-    divergences.extend(_safe_run_case(case, seed, stats))
+    divergences.extend(
+        _safe_run_case(case, seed, stats, auto_reorder=auto_reorder)
+    )
     return TrialReport(
         seed=seed,
         divergences=divergences,
@@ -451,11 +484,18 @@ def run_trial(
     )
 
 
-def _shrink_and_describe(case: dict, seed: int, areas: Set[str]) -> dict:
+def _shrink_and_describe(
+    case: dict,
+    seed: int,
+    areas: Set[str],
+    auto_reorder: Optional[int] = None,
+) -> dict:
     """Minimize a failing case while any of ``areas`` keeps diverging."""
 
     def still_fails(candidate: dict) -> bool:
-        found = _safe_run_case(candidate, seed, EngineStats())
+        found = _safe_run_case(
+            candidate, seed, EngineStats(), auto_reorder=auto_reorder
+        )
         return any(d.area in areas for d in found)
 
     return shrink_case(case, still_fails)
@@ -513,6 +553,7 @@ def run_sweep(
     shrink: bool = True,
     max_space: int = ORACLE_MAX_SPACE,
     progress=None,
+    auto_reorder: Optional[int] = None,
 ) -> SweepReport:
     """Run ``trials`` seeded trials; shrink and record any divergence."""
     stats = stats if stats is not None else EngineStats()
@@ -521,7 +562,10 @@ def run_sweep(
     for i in range(trials):
         seed = seed0 + i
         with stats.tracer.span("fuzz.trial", cat="fuzz", seed=seed) as span:
-            report = run_trial(seed, stats=stats, max_space=max_space, keep_case=True)
+            report = run_trial(
+                seed, stats=stats, max_space=max_space, keep_case=True,
+                auto_reorder=auto_reorder,
+            )
             span.add(divergences=len(report.divergences))
         sweep.reports.append(report)
         if progress is not None:
@@ -531,7 +575,10 @@ def run_sweep(
             case = report.case
             if shrink and case is not None and areas != {"bddops"}:
                 with stats.phase("fuzz.shrink"):
-                    case = _shrink_and_describe(case, seed, areas - {"bddops"})
+                    case = _shrink_and_describe(
+                        case, seed, areas - {"bddops"},
+                        auto_reorder=auto_reorder,
+                    )
             path = write_corpus_entry(
                 corpus_dir, seed, areas, case,
                 note=str(report.divergences[0]),

@@ -43,6 +43,7 @@ def _sweep_chunk_worker(
     shrink: bool,
     max_space: int,
     trace: bool = False,
+    auto_reorder: Optional[int] = None,
 ) -> TaskResult:
     """Worker body: one contiguous sub-sweep, exactly the serial code.
 
@@ -60,6 +61,7 @@ def _sweep_chunk_worker(
         corpus_dir=corpus_dir,
         shrink=shrink,
         max_space=max_space,
+        auto_reorder=auto_reorder,
     )
     for trial in report.reports:
         trial.case = None  # cases are large and the parent never reads them
@@ -78,6 +80,7 @@ def run_sweep_parallel(
     timeout: Optional[float] = None,
     retries: int = 1,
     pool: Optional[WorkerPool] = None,
+    auto_reorder: Optional[int] = None,
 ) -> SweepReport:
     """Fan a seeded sweep across ``jobs`` workers; merge in seed order.
 
@@ -95,7 +98,8 @@ def run_sweep_parallel(
         Task(
             task_id=f"fuzz[{chunk_seed0}+{chunk_count}]",
             fn=_sweep_chunk_worker,
-            args=(chunk_count, chunk_seed0, corpus_dir, shrink, max_space, trace),
+            args=(chunk_count, chunk_seed0, corpus_dir, shrink, max_space,
+                  trace, auto_reorder),
             timeout=timeout,
         )
         for chunk_seed0, chunk_count in chunks

@@ -129,26 +129,43 @@ class EngineStats:
         lines = ["engine statistics:"]
         if self.bdd is not None:
             s = self.bdd.stats()
+            live = s["live_nodes"]
             lines.append(
-                f"  nodes: {s['live_nodes']} live / "
+                f"  nodes: {live} live / "
                 f"{s['peak_live_nodes']} peak / {s['allocated_nodes']} allocated"
+            )
+            ce = s["complement_edges"]
+            lines.append(
+                f"  complement edges: {ce} live"
+                + (f" ({ce / live:.1%} of nodes)" if live else "")
+                + f"   not_ calls: {s['not_calls']} (zero-allocation)"
+                + f"   ite std rewrites: {s['std_rewrites']}"
             )
             lines.append(
                 f"  gc runs: {s['gc_runs']}   cache: {s['cache_entries']} entries, "
                 f"{s['cache_evictions']} evictions, "
                 f"{self.bdd.cache_hit_rate():.1%} hit rate"
             )
+            if s["reorder_runs"]:
+                lines.append(
+                    f"  reorder: {s['reorder_runs']} run(s), "
+                    f"{s['reorder_swaps']} full + "
+                    f"{s['reorder_fast_swaps']} fast swaps"
+                )
             ops = [
                 (op, d) for op, d in self.bdd.cache_stats().items() if d["lookups"]
             ]
             if ops:
-                parts = ", ".join(
-                    f"{op} {d['hit_rate']:.0%} of {int(d['lookups'])}"
-                    for op, d in sorted(
-                        ops, key=lambda kv: kv[1]["lookups"], reverse=True
-                    )
+                lines.append(
+                    f"  {'op':<10} {'lookups':>10} {'hits':>10} {'hit rate':>9}"
                 )
-                lines.append(f"  op hit rates: {parts}")
+                for op, d in sorted(
+                    ops, key=lambda kv: kv[1]["lookups"], reverse=True
+                ):
+                    lines.append(
+                        f"  {op:<10} {int(d['lookups']):>10} "
+                        f"{int(d['hits']):>10} {d['hit_rate']:>9.1%}"
+                    )
         if self.phases:
             for name, stat in self.phases.items():
                 lines.append(

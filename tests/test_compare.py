@@ -75,11 +75,32 @@ def test_rate_column_gated_in_opposite_direction():
 
 def test_counter_drift_fails_by_default_but_not_lax():
     current = copy.deepcopy(BASELINE)
-    current["table1"]["philos"]["peak_nodes"] = 9999
+    current["table1"]["philos"]["states"] = 29
     assert compare.compare_results(BASELINE, current).failed
     lax = compare.compare_results(BASELINE, current, lax_counters=True)
     assert not lax.failed
     assert any(f.kind == "drift" for f in lax.findings)
+
+
+def test_node_columns_tolerance_gated_lower_is_better():
+    # Small wobble within tolerance: not even reported.
+    current = copy.deepcopy(BASELINE)
+    current["table1"]["philos"]["peak_nodes"] = 9999  # +3% < 25%
+    result = compare.compare_results(BASELINE, current)
+    assert not result.failed
+    assert result.findings == []
+    # A blow-up past tolerance is fatal — even under --lax-counters.
+    current["table1"]["philos"]["peak_nodes"] = 9685 * 2
+    for lax in (False, True):
+        result = compare.compare_results(BASELINE, current, lax_counters=lax)
+        assert result.failed
+        (finding,) = [f for f in result.findings if f.fatal]
+        assert finding.kind == "regression" and finding.column == "peak_nodes"
+    # A big reduction is an informational improvement.
+    current["table1"]["philos"]["peak_nodes"] = 5000
+    result = compare.compare_results(BASELINE, current)
+    assert not result.failed
+    assert any(f.kind == "improvement" for f in result.findings)
 
 
 def test_paper_columns_ignored():

@@ -1,7 +1,11 @@
 """Tests for BDD export and inspection helpers."""
 
+import itertools
+import json
+
 from repro.bdd import BDD
-from repro.bdd.dump import level_profile, summarize, to_dot
+from repro.bdd.dump import level_profile, load, save, summarize, to_dot
+from repro.bdd.manager import BddError
 
 
 def setup():
@@ -36,6 +40,87 @@ class TestDot:
         bdd, _f = setup()
         dot = to_dot(bdd, {"t": bdd.true})
         assert "root_t -> f1" in dot
+
+
+class TestComplementArcs:
+    def test_complement_arc_rendered_as_odot(self):
+        bdd, f = setup()
+        g = bdd.not_(f)
+        dot = to_dot(bdd, {"g": g})
+        # The root arc into the shared DAG carries the complement mark.
+        assert "arrowhead=odot" in dot
+
+    def test_terminal_arcs_resolve_polarity_into_the_box(self):
+        bdd, f = setup()
+        dot = to_dot(bdd, {"f": f, "g": bdd.not_(f)})
+        # Arcs into terminals never use odot: polarity picks the box.
+        for line in dot.splitlines():
+            if "-> f0" in line or "-> f1" in line:
+                assert "odot" not in line, line
+
+    def test_negation_adds_no_nodes_to_the_drawing(self):
+        bdd, f = setup()
+        plain = to_dot(bdd, {"f": f}).count(" [label=")
+        both = to_dot(bdd, {"f": f, "g": bdd.not_(f)}).count(" [label=")
+        # g shares every decision node with f; only the root line is new.
+        assert both == plain + 1
+
+
+class TestSaveLoad:
+    def roundtrip(self, bdd, roots):
+        payload = json.loads(json.dumps(save(bdd, roots)))  # force JSON trip
+        fresh = BDD()
+        return fresh, load(fresh, payload)
+
+    def test_roundtrip_preserves_semantics_and_complements(self):
+        bdd, f = setup()
+        g = bdd.not_(f)
+        fresh, restored = self.roundtrip(bdd, {"f": f, "g": g})
+        assert set(restored) == {"f", "g"}
+        assert restored["g"] == fresh.not_(restored["f"])
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip(("a", "b", "c"), bits))
+            assert fresh.eval(restored["f"], env) == bdd.eval(f, env)
+            assert fresh.eval(restored["g"], env) == bdd.eval(g, env)
+
+    def test_roundtrip_into_same_manager_is_identity(self):
+        bdd, f = setup()
+        restored = load(bdd, save(bdd, {"f": f, "nf": bdd.not_(f)}))
+        assert restored == {"f": f, "nf": bdd.not_(f)}
+
+    def test_roundtrip_constants(self):
+        bdd, _f = setup()
+        fresh, restored = self.roundtrip(bdd, {"t": bdd.true, "z": bdd.false})
+        assert restored["t"] == fresh.true
+        assert restored["z"] == fresh.false
+
+    def test_load_declares_missing_variables_in_saved_order(self):
+        bdd, f = setup()
+        payload = save(bdd, {"f": f})
+        fresh = BDD()
+        load(fresh, payload)
+        assert [fresh.var_name(v) for v in fresh.order] == payload["order"]
+
+    def test_load_is_canonical_under_a_different_order(self):
+        bdd, f = setup()
+        payload = save(bdd, {"f": f})
+        fresh = BDD()
+        for name in ("c", "b", "a"):  # reversed declaration order
+            fresh.add_var(name)
+        restored = load(fresh, payload)["f"]
+        direct = fresh.or_(
+            fresh.and_(fresh.var("a"), fresh.var("b")), fresh.var("c")
+        )
+        assert restored == direct
+
+    def test_unknown_format_rejected(self):
+        bdd, _f = setup()
+        try:
+            load(bdd, {"format": "bogus-9"})
+        except BddError:
+            pass
+        else:
+            raise AssertionError("expected BddError")
 
 
 class TestProfileAndSummary:

@@ -18,6 +18,8 @@ as regressions (see ``is_node_column``), not as timing noise.
 
 import random
 
+import numpy as np
+
 from repro.bdd import BDD
 from repro.blifmv import flatten, parse
 from repro.ctl import check_ctl, parse_ctl
@@ -141,6 +143,60 @@ def test_negation_throughput(benchmark, results_collector):
         "seconds": benchmark.stats["mean"],
         "not_per_s": round(reps / benchmark.stats["mean"], 0),
         "alloc_nodes": len(bdd) - live_before,
+    })
+
+
+def test_gc_sweep_throughput(benchmark, results_collector):
+    """Vectorized mark/sweep over a ~120k-node heap of dead xor junk.
+
+    Nothing is rooted, so the collector frees nearly the whole heap; the
+    ``swept_per_s`` column is the flat-array store's headline win (the
+    old per-node dict sweep ran an order of magnitude slower here).
+    """
+    meta = {}
+
+    def setup():
+        bdd = BDD()
+        for j in range(24):
+            bdd.add_var(f"s{j}")
+        rng = random.Random(3)
+        pool = [bdd.var(j) for j in range(24)]
+        while len(bdd) < 120_000:
+            f = pool[rng.randrange(len(pool))]
+            g = pool[rng.randrange(len(pool))]
+            pool.append(bdd.xor(f, g))
+        meta["heap"] = len(bdd)
+        return (bdd,), {}
+
+    def run(bdd):
+        meta["freed"] = bdd.gc()
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    results_collector("kernel", "gc_sweep", {
+        "seconds": benchmark.stats["mean"],
+        "swept_per_s": round(meta["heap"] / benchmark.stats["mean"], 0),
+        "heap_nodes": meta["heap"],
+    })
+
+
+def test_eval_batch_throughput(benchmark, results_collector):
+    """Vectorized lockstep evaluation of all 2^16 assignments at once."""
+    bdd = _fresh_manager()
+    pool = _random_pool(bdd, random.Random(11), negation_heavy=False)
+    f = pool[-1]
+    rows = ((np.arange(1 << N_VARS)[:, None] >> np.arange(N_VARS)) & 1).astype(bool)
+
+    def run():
+        return bdd.eval_batch(f, rows)
+
+    got = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Spot-check against the scalar walker so the bench can't drift wrong.
+    for a in (0, 1, 4097, (1 << N_VARS) - 1):
+        env = {f"v{j}": bool((a >> j) & 1) for j in range(N_VARS)}
+        assert bool(got[a]) == bdd.eval(f, env)
+    results_collector("kernel", "eval_batch", {
+        "seconds": benchmark.stats["mean"],
+        "evals_per_s": round(rows.shape[0] / benchmark.stats["mean"], 0),
     })
 
 

@@ -255,6 +255,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="report counter drift without failing on it",
     )
     parser.add_argument(
+        "--only", action="append", default=[], metavar="EXPERIMENT",
+        help=(
+            "restrict the comparison to the named experiment(s); other "
+            "experiments are ignored on both sides; may repeat"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="print only the final summary line",
     )
@@ -267,6 +274,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if opts.only:
+        wanted = set(opts.only)
+        unknown = wanted - set(baseline) - set(current)
+        if unknown:
+            print(
+                f"error: --only names unknown experiment(s): "
+                f"{', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = {k: v for k, v in baseline.items() if k in wanted}
+        current = {k: v for k, v in current.items() if k in wanted}
     try:
         default, per_experiment = _parse_tolerances(opts.tolerance)
     except ValueError as exc:

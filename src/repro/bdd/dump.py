@@ -96,7 +96,8 @@ def summarize(bdd: BDD, roots: Mapping[str, int]) -> str:
     stats = bdd.stats()
     lines.append(
         "manager: {live_nodes} live nodes, {variables} vars, "
-        "{cache_entries} cache entries, {gc_runs} GCs".format(**stats)
+        "{cache_entries} cache entries, {gc_runs} GCs, "
+        "unique table {unique_used}/{unique_slots}".format(**stats)
     )
     return "\n".join(lines)
 

@@ -17,6 +17,17 @@ Python:
 * a mark-and-sweep garbage collector driven by explicitly registered roots,
 * dynamic variable reordering (sifting) at the same GC safe points.
 
+Node storage follows the Brace-Rudell-Bryant efficient-package layout
+(the one CUDD later standardized): nodes live in flat ``int64`` numpy
+columns ``var``/``lo``/``hi`` with geometric growth, a single
+open-addressing unique table (a linear-probe ``int64`` hash array keyed
+on the ``(var, lo, hi)`` triple) guarantees canonicity, and the computed
+cache is a direct-mapped array of ``(signature, value)`` rows rather
+than a Python dict.  Hot scalar accesses go through ``memoryview``
+wrappers over the columns (cheaper per element than ndarray indexing);
+bulk passes — GC marking, sweep, unique-table rehash, batch evaluation —
+operate on the numpy arrays directly and are vectorized.
+
 Handles are *complemented edges*: a function handle is
 ``(node_index << 1) | complement_bit``.  There is a single terminal node
 at index 0 (the constant one); ``TRUE`` is its regular handle ``0`` and
@@ -31,8 +42,9 @@ makes in-place level swaps (sifting) safe under this encoding.
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.trace.tracer import Tracer
 
@@ -50,6 +62,25 @@ _EXPAND = 0
 _REDUCE = 1
 _COMBINE_OR = 2
 _SHORT_CIRCUIT = 3
+_REDUCE1 = 4
+
+# Multiplicative hash constants shared by the scalar probe loops and the
+# vectorized (uint64, silently wrapping) rehash passes.  The scalar side
+# masks with _M64 so both sides compute identical slots.
+_H1 = 0x9E3779B1
+_H2 = 0x85EBCA77
+_H3 = 0xC2B2AE3D
+_M64 = (1 << 64) - 1
+
+# Opcodes folded into computed-cache signatures: a = (handle << 6) | op.
+_OP_ITE = 1
+_OP_EXIST = 2
+_OP_ANDEX = 3
+_OP_RENAME = 4
+_OP_VCOMP = 5
+_OP_RESTR = 6
+_OP_CONSTRAIN = 7
+_OP_RESTRDC = 8
 
 # Every computed-cache-keyed operation, for per-op hit/miss accounting.
 # "and"/"or"/"xor" share the standardized "ite" cache but keep their own
@@ -58,6 +89,11 @@ CACHED_OPS = (
     "ite", "and", "or", "xor", "exist", "andex",
     "rename", "vcomp", "restr", "constrain", "restrdc",
 )
+
+_INITIAL_NODE_CAPACITY = 1 << 10
+_INITIAL_UNIQUE_SIZE = 1 << 11
+_INITIAL_CACHE_SIZE = 1 << 12
+_MAX_CACHE_SIZE = 1 << 20
 
 
 class BddError(Exception):
@@ -71,13 +107,17 @@ class BDD:
     (``index << 1 | complement``); they are only meaningful together with
     the manager that produced them.  Handles stay valid across garbage
     collections and in-place reorders as long as they are reachable from
-    a registered root (see :meth:`gc`).
+    a registered root (see :meth:`gc`).  Only the explicit
+    :meth:`compact` safe-point operation moves nodes (and remaps the
+    registered roots while doing so).
 
     The manager manages its own resources:
 
-    * ``cache_limit`` bounds the computed cache: when an insertion would
-      exceed the limit the whole cache is dropped (clear-on-threshold —
-      cheap, and correctness never depends on the cache).
+    * ``cache_limit`` bounds the computed cache: the cache is a
+      direct-mapped array of at most ``cache_limit`` rows (rounded down
+      to a power of two); a conflicting insertion overwrites the old row
+      and counts as an eviction.  Correctness never depends on the
+      cache.
     * ``auto_gc`` arms automatic collection: once more than ``auto_gc``
       nodes have been created since the last collection, :meth:`_mk`
       flags a pending GC which runs at the next *safe point* — a
@@ -106,24 +146,56 @@ class BDD:
             raise BddError("cache_limit must be positive (or None)")
         if auto_reorder is not None and auto_reorder < 1:
             raise BddError("auto_reorder threshold must be positive (or None)")
-        # Parallel node arrays.  Index 0 is the single terminal (constant
-        # one); its slots are placeholders and never traversed.
-        self._var: List[int] = [-1]
-        self._lo: List[int] = [0]
-        self._hi: List[int] = [0]
-        # One unique table per variable: (lo, hi) -> node index.
-        self._unique: List[Dict[Tuple[int, int], int]] = []
+        # Flat node columns.  Index 0 is the single terminal (constant
+        # one); unallocated slots keep var == -1 so column scans can skip
+        # them without consulting the free list.
+        self._cap = _INITIAL_NODE_CAPACITY
+        self._var_np = np.full(self._cap, -1, dtype=np.int64)
+        self._lo_np = np.zeros(self._cap, dtype=np.int64)
+        self._hi_np = np.zeros(self._cap, dtype=np.int64)
+        self._n = 1  # high-water allocation mark (terminal included)
         self._free: List[int] = []
-        # Computed cache: (op, f, g, h) -> handle.
-        self._cache: Dict[Tuple, int] = {}
+        # Single open-addressing unique table over (var, lo, hi):
+        # slot values are 0 = empty, -1 = tombstone, else a node index
+        # (node 0, the terminal, never enters the table).
+        self._ut_size = _INITIAL_UNIQUE_SIZE
+        self._ut_mask = self._ut_size - 1
+        self._ut_np = np.zeros(self._ut_size, dtype=np.int64)
+        self._ut_used = 0    # live entries
+        self._ut_filled = 0  # live entries + tombstones
+        # Direct-mapped computed cache: signature columns a/b/c and the
+        # result column r.  a == -1 marks an empty row (signatures are
+        # always non-negative: a = (handle << 6) | opcode).
+        if cache_limit is not None:
+            ck_size = 1 << (cache_limit.bit_length() - 1)
+            self._ck_growable = False
+        else:
+            ck_size = _INITIAL_CACHE_SIZE
+            self._ck_growable = True
+        self._ck_cap = ck_size
+        self._ck_mask = ck_size - 1
+        self._ck_a_np = np.full(ck_size, -1, dtype=np.int64)
+        self._ck_b_np = np.zeros(ck_size, dtype=np.int64)
+        self._ck_c_np = np.zeros(ck_size, dtype=np.int64)
+        self._ck_r_np = np.zeros(ck_size, dtype=np.int64)
+        self._ck_used = 0
+        # Interned ids for rename/compose/restrict argument maps so their
+        # cache signatures fit the three int64 columns.  Entries may
+        # mention node handles, but the cache is cleared whenever nodes
+        # are freed, so a stale id can never produce a false hit.
+        self._map_ids: Dict[Tuple, int] = {}
+        self._refresh_views()
         # Variable bookkeeping.
         self._name_of_var: List[str] = []
         self._var_of_name: Dict[str, int] = {}
         self._level_of_var: List[int] = []
         self._var_at_level: List[int] = []
+        # Live unique-table population per variable (sifting cost model).
+        self._pop: List[int] = []
         # Externally registered GC roots (name -> handle).
         self._roots: Dict[str, int] = {}
         self.gc_count = 0
+        self.compact_count = 0
         # Resource management knobs and telemetry.
         self.auto_gc = auto_gc
         self.cache_limit = cache_limit
@@ -144,8 +216,263 @@ class BDD:
         self.std_rewrites = 0
         # op -> [lookups, hits] for the computed cache.
         self._op_stats: Dict[str, List[int]] = {op: [0, 0] for op in CACHED_OPS}
-        # Structured event sink (GC sweeps, cache evictions, reorders).
+        # Structured event sink (GC sweeps, reorders, compactions).
         self.tracer: Tracer = _NULL_TRACER
+
+    # ------------------------------------------------------------------
+    # Array plumbing
+    # ------------------------------------------------------------------
+
+    def _refresh_views(self) -> None:
+        """(Re)wrap the numpy columns in memoryviews for scalar access."""
+        self._var = memoryview(self._var_np)
+        self._lo = memoryview(self._lo_np)
+        self._hi = memoryview(self._hi_np)
+        self._ut = memoryview(self._ut_np)
+        self._ck_a = memoryview(self._ck_a_np)
+        self._ck_b = memoryview(self._ck_b_np)
+        self._ck_c = memoryview(self._ck_c_np)
+        self._ck_r = memoryview(self._ck_r_np)
+
+    def __getstate__(self):
+        # memoryviews cannot be pickled; rebuild them on load.
+        state = self.__dict__.copy()
+        for key in ("_var", "_lo", "_hi", "_ut",
+                    "_ck_a", "_ck_b", "_ck_c", "_ck_r"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._refresh_views()
+
+    def _grow_nodes(self) -> None:
+        """Double the node columns, refreshing the scalar views.
+
+        Hot loops that cache the views in locals must re-check identity
+        (``self._var is not var_arr``) after any call that can allocate.
+        """
+        cap = self._cap * 2
+        var2 = np.full(cap, -1, dtype=np.int64)
+        lo2 = np.zeros(cap, dtype=np.int64)
+        hi2 = np.zeros(cap, dtype=np.int64)
+        n = self._n
+        var2[:n] = self._var_np[:n]
+        lo2[:n] = self._lo_np[:n]
+        hi2[:n] = self._hi_np[:n]
+        self._var_np, self._lo_np, self._hi_np = var2, lo2, hi2
+        self._cap = cap
+        self._var = memoryview(var2)
+        self._lo = memoryview(lo2)
+        self._hi = memoryview(hi2)
+
+    # ------------------------------------------------------------------
+    # Open-addressing unique table
+    # ------------------------------------------------------------------
+
+    def _ut_bulk_insert(self, idxs: "np.ndarray") -> None:
+        """Vectorized batch insert of node indices into a tombstone-free
+        table (used by rehash/rebuild; all keys are distinct).
+
+        Batch linear probing: sort pending entries by slot, let the first
+        entry of each slot group claim the slot if it is empty, advance
+        everyone else by one and repeat.  Placements only ever fill
+        slots, so every placed key remains reachable by probing from its
+        home slot.
+        """
+        table = self._ut_np
+        v = self._var_np[idxs].astype(np.uint64)
+        lo = self._lo_np[idxs].astype(np.uint64)
+        hi = self._hi_np[idxs].astype(np.uint64)
+        h = v * _H1 + lo * _H2 + hi * _H3
+        h ^= h >> np.uint64(16)
+        slots = (h & np.uint64(self._ut_mask)).astype(np.int64)
+        pending = idxs.astype(np.int64)
+        mask = np.int64(self._ut_mask)
+        one = np.int64(1)
+        while pending.size:
+            order = np.argsort(slots, kind="stable")
+            slots = slots[order]
+            pending = pending[order]
+            first = np.empty(slots.size, dtype=bool)
+            first[0] = True
+            if slots.size > 1:
+                first[1:] = slots[1:] != slots[:-1]
+            place = first & (table[slots] == 0)
+            table[slots[place]] = pending[place]
+            keep = ~place
+            slots = (slots[keep] + one) & mask
+            pending = pending[keep]
+
+    def _ut_rebuild(self, min_size: Optional[int] = None) -> None:
+        """Rebuild the unique table from the live node columns.
+
+        Drops all tombstones; grows (doubling) until the live load
+        factor is below 3/4.  Called after GC sweeps, compaction and
+        when the probe loops detect the table filling up.
+        """
+        n = self._n
+        live = np.flatnonzero(self._var_np[:n] >= 0)
+        size = self._ut_size if min_size is None else min_size
+        while int(live.size) * 4 >= size * 3:
+            size *= 2
+        self._ut_np = np.zeros(size, dtype=np.int64)
+        self._ut_size = size
+        self._ut_mask = size - 1
+        self._ut = memoryview(self._ut_np)
+        self._ut_used = self._ut_filled = int(live.size)
+        if live.size:
+            self._ut_bulk_insert(live)
+
+    def _ut_delete(self, idx: int) -> None:
+        """Tombstone the unique-table entry of node ``idx`` (pre-relabel:
+        the node's columns must still hold the stored triple)."""
+        var = self._var[idx]
+        lo = self._lo[idx]
+        hi = self._hi[idx]
+        ut = self._ut
+        mask = self._ut_mask
+        h = (var * _H1 + lo * _H2 + hi * _H3) & _M64
+        h ^= h >> 16
+        slot = h & mask
+        while True:
+            e = ut[slot]
+            if e == idx:
+                ut[slot] = -1
+                self._ut_used -= 1
+                return
+            if e == 0:
+                return
+            slot = (slot + 1) & mask
+
+    def _ut_insert_node(self, idx: int) -> None:
+        """Insert an existing node index under its (relabelled) triple.
+
+        The caller guarantees the triple is not already present (swap
+        relabels preserve function distinctness, so a collision would
+        mean two nodes computing the same function).
+        """
+        var = self._var[idx]
+        lo = self._lo[idx]
+        hi = self._hi[idx]
+        ut = self._ut
+        mask = self._ut_mask
+        h = (var * _H1 + lo * _H2 + hi * _H3) & _M64
+        h ^= h >> 16
+        slot = h & mask
+        while True:
+            e = ut[slot]
+            if e == 0:
+                ut[slot] = idx
+                self._ut_filled += 1
+                break
+            if e < 0:
+                ut[slot] = idx
+                break
+            slot = (slot + 1) & mask
+        self._ut_used += 1
+        if self._ut_filled * 4 >= self._ut_size * 3:
+            self._ut_rebuild()
+
+    # ------------------------------------------------------------------
+    # Direct-mapped computed cache
+    # ------------------------------------------------------------------
+
+    def _ck_get(self, a: int, b: int, c: int) -> int:
+        """Computed-cache lookup; returns the cached handle or -1."""
+        h = (a * _H1 + b * _H2 + c * _H3) & _M64
+        h ^= h >> 16
+        slot = h & self._ck_mask
+        if (
+            self._ck_a[slot] == a
+            and self._ck_b[slot] == b
+            and self._ck_c[slot] == c
+        ):
+            return self._ck_r[slot]
+        return -1
+
+    def _ck_put(self, a: int, b: int, c: int, r: int) -> None:
+        """Computed-cache insert; a conflicting row is overwritten (and
+        counted as an eviction).  Never frees or moves nodes, so indices
+        held by in-flight operator stacks stay valid."""
+        if (
+            self._ck_growable
+            and self._ck_cap < _MAX_CACHE_SIZE
+            and (self._ck_used + 1) * 4 >= self._ck_cap * 3
+        ):
+            self._ck_grow()
+        h = (a * _H1 + b * _H2 + c * _H3) & _M64
+        h ^= h >> 16
+        slot = h & self._ck_mask
+        ck_a = self._ck_a
+        prev = ck_a[slot]
+        if prev == -1:
+            self._ck_used += 1
+        elif (
+            prev != a
+            or self._ck_b[slot] != b
+            or self._ck_c[slot] != c
+        ):
+            self.cache_evictions += 1
+        ck_a[slot] = a
+        self._ck_b[slot] = b
+        self._ck_c[slot] = c
+        self._ck_r[slot] = r
+
+    def _ck_grow(self) -> None:
+        """Quadruple the cache, rehashing the live rows vectorized.
+
+        Rows that collide in the new table keep the last writer — it is
+        a cache, losing entries is always safe.
+        """
+        cap = self._ck_cap * 4
+        mask = np.uint64(cap - 1)
+        old_a, old_b = self._ck_a_np, self._ck_b_np
+        old_c, old_r = self._ck_c_np, self._ck_r_np
+        valid = np.flatnonzero(old_a != -1)
+        new_a = np.full(cap, -1, dtype=np.int64)
+        new_b = np.zeros(cap, dtype=np.int64)
+        new_c = np.zeros(cap, dtype=np.int64)
+        new_r = np.zeros(cap, dtype=np.int64)
+        if valid.size:
+            a = old_a[valid].astype(np.uint64)
+            b = old_b[valid].astype(np.uint64)
+            c = old_c[valid].astype(np.uint64)
+            h = a * _H1 + b * _H2 + c * _H3
+            h ^= h >> np.uint64(16)
+            slots = (h & mask).astype(np.int64)
+            new_a[slots] = old_a[valid]
+            new_b[slots] = old_b[valid]
+            new_c[slots] = old_c[valid]
+            new_r[slots] = old_r[valid]
+            self._ck_used = int(np.unique(slots).size)
+        else:
+            self._ck_used = 0
+        self._ck_a_np, self._ck_b_np = new_a, new_b
+        self._ck_c_np, self._ck_r_np = new_c, new_r
+        self._ck_cap = cap
+        self._ck_mask = cap - 1
+        self._ck_a = memoryview(new_a)
+        self._ck_b = memoryview(new_b)
+        self._ck_c = memoryview(new_c)
+        self._ck_r = memoryview(new_r)
+
+    def _map_id(self, key_map: Tuple) -> int:
+        """Intern an argument-map tuple for cache signatures."""
+        got = self._map_ids.get(key_map)
+        if got is None:
+            got = len(self._map_ids)
+            self._map_ids[key_map] = got
+        return got
+
+    def clear_cache(self) -> None:
+        """Drop the computed cache (useful to bound memory in long runs)."""
+        self._ck_a_np.fill(-1)
+        self._ck_used = 0
+
+    def cache_size(self) -> int:
+        """Number of live rows in the computed cache."""
+        return self._ck_used
 
     # ------------------------------------------------------------------
     # Variables and ordering
@@ -162,15 +489,20 @@ class BDD:
         var = len(self._name_of_var)
         self._name_of_var.append(name)
         self._var_of_name[name] = var
-        self._unique.append({})
+        self._pop.append(0)
         if level is None:
             level = len(self._var_at_level)
         if not 0 <= level <= len(self._var_at_level):
             raise BddError(f"level {level} out of range")
-        self._var_at_level.insert(level, var)
-        self._level_of_var.append(0)
-        for lvl, v in enumerate(self._var_at_level):
-            self._level_of_var[v] = lvl
+        if level == len(self._var_at_level):
+            # Appending at the bottom shifts nobody.
+            self._var_at_level.append(var)
+            self._level_of_var.append(level)
+        else:
+            self._var_at_level.insert(level, var)
+            self._level_of_var.append(0)
+            for lvl, v in enumerate(self._var_at_level):
+                self._level_of_var[v] = lvl
         return var
 
     @property
@@ -221,7 +553,7 @@ class BDD:
         self._var_at_level = list(order)
         for lvl, v in enumerate(self._var_at_level):
             self._level_of_var[v] = lvl
-        self._cache.clear()
+        self.clear_cache()
 
     # ------------------------------------------------------------------
     # Node construction
@@ -245,24 +577,49 @@ class BDD:
         if neg:
             lo ^= 1
             hi ^= 1
-        table = self._unique[var]
-        key = (lo, hi)
-        node = table.get(key)
-        if node is not None:
-            return (node << 1) | neg
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        ut = self._ut
+        mask = self._ut_mask
+        h = (var * _H1 + lo * _H2 + hi * _H3) & _M64
+        h ^= h >> 16
+        slot = h & mask
+        tomb = -1
+        while True:
+            e = ut[slot]
+            if e == 0:
+                break
+            if e < 0:
+                if tomb < 0:
+                    tomb = slot
+            elif var_arr[e] == var and lo_arr[e] == lo and hi_arr[e] == hi:
+                return (e << 1) | neg
+            slot = (slot + 1) & mask
         if self._free:
             node = self._free.pop()
-            self._var[node] = var
-            self._lo[node] = lo
-            self._hi[node] = hi
         else:
-            node = len(self._var)
-            self._var.append(var)
-            self._lo.append(lo)
-            self._hi.append(hi)
-        table[key] = node
+            node = self._n
+            if node == self._cap:
+                self._grow_nodes()
+                var_arr = self._var
+                lo_arr = self._lo
+                hi_arr = self._hi
+            self._n = node + 1
+        var_arr[node] = var
+        lo_arr[node] = lo
+        hi_arr[node] = hi
+        if tomb >= 0:
+            ut[tomb] = node
+        else:
+            ut[slot] = node
+            self._ut_filled += 1
+        self._ut_used += 1
+        self._pop[var] += 1
+        if self._ut_filled * 4 >= self._ut_size * 3:
+            self._ut_rebuild()
         self._nodes_since_gc += 1
-        live = len(self._var) - len(self._free) + 1
+        live = self._n - len(self._free) + 1
         if live > self.peak_live_nodes:
             self.peak_live_nodes = live
         if (
@@ -282,30 +639,6 @@ class BDD:
         ):
             self._reorder_pending = True
         return (node << 1) | neg
-
-    def _cache_insert(self, key: Tuple, value: int) -> None:
-        """Insert into the computed cache, honouring ``cache_limit``."""
-        cache = self._cache
-        if self.cache_limit is not None and len(cache) >= self.cache_limit:
-            dropped = len(cache)
-            cache.clear()
-            self.cache_evictions += 1
-            self.tracer.instant(
-                "bdd.cache_evict", cat="bdd",
-                dropped=dropped, evictions=self.cache_evictions,
-            )
-        cache[key] = value
-
-    def _ensure_depth(self) -> None:
-        """Raise the interpreter recursion limit so one descent fits.
-
-        The hot operators are explicit-stack iterative; the remaining
-        recursive ones (rename, compose, restrict, constrain, ...) recurse
-        at most a small multiple of the variable count.
-        """
-        need = 4 * self.var_count + 500
-        if sys.getrecursionlimit() < need:
-            sys.setrecursionlimit(need)
 
     def var(self, name_or_index) -> int:
         """Return the function of a single positive literal."""
@@ -330,7 +663,7 @@ class BDD:
         The single terminal counts as two (both polarities), keeping the
         node accounting comparable with two-terminal kernels.
         """
-        return len(self._var) - len(self._free) + 1
+        return self._n - len(self._free) + 1
 
     # ------------------------------------------------------------------
     # Core operators
@@ -366,12 +699,19 @@ class BDD:
         branch — so every equivalent call shares one cache line.
         ``stats`` attributes the lookups to the calling entry point
         (``ite``/``and``/``or``/``xor``) while the cache key stays shared.
+
+        Cache lookups are inlined against the direct-mapped signature
+        columns; locals caching the column views are refreshed whenever
+        an allocation or insertion may have reallocated them.
         """
-        cache = self._cache
-        cache_get = cache.get
         var_arr = self._var
         lo_arr = self._lo
         hi_arr = self._hi
+        ck_a = self._ck_a
+        ck_b = self._ck_b
+        ck_c = self._ck_c
+        ck_r = self._ck_r
+        ck_mask = self._ck_mask
         lvl_of = self._level_of_var
         mk = self._mk
         todo: List[Tuple] = [(_EXPAND, f, g, h, 0)]
@@ -444,12 +784,14 @@ class BDD:
                     outneg ^= 1
                 if f != orig_f or g != orig_g or h != orig_h:
                     std_rewrites += 1
-                key = ("ite", f, g, h)
+                a = (f << 6) | _OP_ITE
                 stats[0] += 1
-                res = cache_get(key)
-                if res is not None:
+                hs = (a * _H1 + g * _H2 + h * _H3) & _M64
+                hs ^= hs >> 16
+                slot = hs & ck_mask
+                if ck_a[slot] == a and ck_b[slot] == g and ck_c[slot] == h:
                     stats[1] += 1
-                    results.append(res ^ outneg)
+                    results.append(ck_r[slot] ^ outneg)
                     continue
                 # Inline top_var + cofactors (f is never terminal here).
                 fi = f >> 1
@@ -483,18 +825,25 @@ class BDD:
                     h1 = hi_arr[hd] ^ c
                 else:
                     h0 = h1 = h
-                todo.append((_REDUCE, var, key, outneg))
+                todo.append((_REDUCE, var, a, g, h, outneg))
                 todo.append((_EXPAND, f1, g1, h1, 0))
                 todo.append((_EXPAND, f0, g0, h0, 0))
             else:
-                _, var, key, outneg = frame
+                _, var, a, b, c, outneg = frame
                 hi = results.pop()
                 lo = results.pop()
                 res = mk(var, lo, hi)
-                if self.cache_limit is not None and len(cache) >= self.cache_limit:
-                    self._cache_insert(key, res)
-                else:
-                    cache[key] = res
+                self._ck_put(a, b, c, res)
+                if self._var is not var_arr:
+                    var_arr = self._var
+                    lo_arr = self._lo
+                    hi_arr = self._hi
+                if self._ck_a is not ck_a:
+                    ck_a = self._ck_a
+                    ck_b = self._ck_b
+                    ck_c = self._ck_c
+                    ck_r = self._ck_r
+                    ck_mask = self._ck_mask
                 results.append(res ^ outneg)
         self.std_rewrites += std_rewrites
         return results.pop()
@@ -590,7 +939,6 @@ class BDD:
         return self._exist(cube, f)
 
     def _exist(self, cube: int, f: int) -> int:
-        cache = self._cache
         stats = self._op_stats["exist"]
         todo: List[Tuple] = [(_EXPAND, cube, f)]
         results: List[int] = []
@@ -609,10 +957,10 @@ class BDD:
                 if cube == TRUE:
                     results.append(f)
                     continue
-                key = ("exist", cube, f)
+                a = (cube << 6) | _OP_EXIST
                 stats[0] += 1
-                res = cache.get(key)
-                if res is not None:
+                res = self._ck_get(a, f, 0)
+                if res >= 0:
                     stats[1] += 1
                     results.append(res)
                     continue
@@ -622,26 +970,26 @@ class BDD:
                 lo, hi = self._lo[idx] ^ c, self._hi[idx] ^ c
                 if self._var[cube >> 1] == var:
                     sub = self._cube_next(cube)
-                    todo.append((_COMBINE_OR, key))
+                    todo.append((_COMBINE_OR, a, f))
                     todo.append((_EXPAND, sub, hi))
                     todo.append((_EXPAND, sub, lo))
                 else:
-                    todo.append((_REDUCE, var, key))
+                    todo.append((_REDUCE, var, a, f))
                     todo.append((_EXPAND, cube, hi))
                     todo.append((_EXPAND, cube, lo))
             elif tag == _REDUCE:
-                _, var, key = frame
+                _, var, a, b = frame
                 hi = results.pop()
                 lo = results.pop()
                 res = self._mk(var, lo, hi)
-                self._cache_insert(key, res)
+                self._ck_put(a, b, 0, res)
                 results.append(res)
             else:  # _COMBINE_OR
-                _, key = frame
+                _, a, b = frame
                 hi = results.pop()
                 lo = results.pop()
                 res = self.or_(lo, hi)
-                self._cache_insert(key, res)
+                self._ck_put(a, b, 0, res)
                 results.append(res)
         return results.pop()
 
@@ -659,11 +1007,14 @@ class BDD:
         return self._and_exists(f, g, cube)
 
     def _and_exists(self, f: int, g: int, cube: int) -> int:
-        cache = self._cache
-        cache_get = cache.get
         var_arr = self._var
         lo_arr = self._lo
         hi_arr = self._hi
+        ck_a = self._ck_a
+        ck_b = self._ck_b
+        ck_c = self._ck_c
+        ck_r = self._ck_r
+        ck_mask = self._ck_mask
         lvl_of = self._level_of_var
         stats = self._op_stats["andex"]
         todo: List[Tuple] = [(_EXPAND, f, g, cube)]
@@ -678,6 +1029,16 @@ class BDD:
                     continue
                 if cube == TRUE:
                     results.append(self.and_(f, g))
+                    if self._var is not var_arr:
+                        var_arr = self._var
+                        lo_arr = self._lo
+                        hi_arr = self._hi
+                    if self._ck_a is not ck_a:
+                        ck_a = self._ck_a
+                        ck_b = self._ck_b
+                        ck_c = self._ck_c
+                        ck_r = self._ck_r
+                        ck_mask = self._ck_mask
                     continue
                 if f == TRUE and g == TRUE:
                     results.append(TRUE)
@@ -695,13 +1056,25 @@ class BDD:
                     cube = hi_arr[cube >> 1] ^ (cube & 1)
                 if cube == TRUE:
                     results.append(self.and_(f, g))
+                    if self._var is not var_arr:
+                        var_arr = self._var
+                        lo_arr = self._lo
+                        hi_arr = self._hi
+                    if self._ck_a is not ck_a:
+                        ck_a = self._ck_a
+                        ck_b = self._ck_b
+                        ck_c = self._ck_c
+                        ck_r = self._ck_r
+                        ck_mask = self._ck_mask
                     continue
-                key = ("andex", f, g, cube)
+                a = (f << 6) | _OP_ANDEX
                 stats[0] += 1
-                res = cache_get(key)
-                if res is not None:
+                hs = (a * _H1 + g * _H2 + cube * _H3) & _M64
+                hs ^= hs >> 16
+                slot = hs & ck_mask
+                if ck_a[slot] == a and ck_b[slot] == g and ck_c[slot] == cube:
                     stats[1] += 1
-                    results.append(res)
+                    results.append(ck_r[slot])
                     continue
                 var = vf if lf <= lg else vg
                 fi = f >> 1
@@ -720,35 +1093,61 @@ class BDD:
                     g0 = g1 = g
                 if var_arr[cube >> 1] == var:
                     sub = self._cube_next(cube)
-                    todo.append((_SHORT_CIRCUIT, f1, g1, sub, key))
+                    todo.append((_SHORT_CIRCUIT, f1, g1, sub, a, g, cube))
                     todo.append((_EXPAND, f0, g0, sub))
                 else:
-                    todo.append((_REDUCE, var, key))
+                    todo.append((_REDUCE, var, a, g, cube))
                     todo.append((_EXPAND, f1, g1, cube))
                     todo.append((_EXPAND, f0, g0, cube))
             elif tag == _REDUCE:
-                _, var, key = frame
+                _, var, a, b, c = frame
                 hi = results.pop()
                 lo = results.pop()
                 res = self._mk(var, lo, hi)
-                self._cache_insert(key, res)
+                self._ck_put(a, b, c, res)
+                if self._var is not var_arr:
+                    var_arr = self._var
+                    lo_arr = self._lo
+                    hi_arr = self._hi
+                if self._ck_a is not ck_a:
+                    ck_a = self._ck_a
+                    ck_b = self._ck_b
+                    ck_c = self._ck_c
+                    ck_r = self._ck_r
+                    ck_mask = self._ck_mask
                 results.append(res)
             elif tag == _SHORT_CIRCUIT:
-                _, f1, g1, sub, key = frame
+                _, f1, g1, sub, a, b, c = frame
                 lo = results.pop()
                 if lo == TRUE:
-                    self._cache_insert(key, TRUE)
+                    self._ck_put(a, b, c, TRUE)
+                    if self._ck_a is not ck_a:
+                        ck_a = self._ck_a
+                        ck_b = self._ck_b
+                        ck_c = self._ck_c
+                        ck_r = self._ck_r
+                        ck_mask = self._ck_mask
                     results.append(TRUE)
                 else:
                     results.append(lo)
-                    todo.append((_COMBINE_OR, key))
+                    todo.append((_COMBINE_OR, a, b, c))
                     todo.append((_EXPAND, f1, g1, sub))
             else:  # _COMBINE_OR
-                _, key = frame
+                _, a, b, c = frame
                 hi = results.pop()
                 lo = results.pop()
                 res = self.or_(lo, hi)
-                self._cache_insert(key, res)
+                self._ck_put(a, b, c, res)
+                if self._var is not var_arr:
+                    var_arr = self._var
+                    lo_arr = self._lo
+                    hi_arr = self._hi
+                if self._ck_a is not ck_a:
+                    ck_a = self._ck_a
+                    ck_b = self._ck_b
+                    ck_c = self._ck_c
+                    ck_r = self._ck_r
+                    ck_mask = self._ck_mask
                 results.append(res)
         return results.pop()
 
@@ -775,10 +1174,9 @@ class BDD:
             # variable in f's support in an order-violating way; detected
             # lazily during reconstruction (mk with out-of-order children
             # would break canonicity silently).
-            key_map = tuple(sorted(mapping.items()))
-            self._ensure_depth()
+            map_id = self._map_id(("rename",) + tuple(sorted(mapping.items())))
             try:
-                return self._rename(f, mapping, key_map)
+                return self._rename(f, mapping, map_id)
             except BddError:
                 if strict:
                     raise
@@ -788,37 +1186,55 @@ class BDD:
             f, {v: self.var(nv) for v, nv in mapping.items()}
         )
 
-    def _rename(self, f: int, mapping: Dict[int, int], key_map: Tuple) -> int:
-        if f < 2:
-            return f
-        if f & 1:
-            return self._rename(f ^ 1, mapping, key_map) ^ 1
-        key = ("rename", f, key_map)
+    def _rename(self, f: int, mapping: Dict[int, int], map_id: int) -> int:
         stats = self._op_stats["rename"]
-        stats[0] += 1
-        res = self._cache.get(key)
-        if res is not None:
-            stats[1] += 1
-            return res
-        idx = f >> 1
-        var = self._var[idx]
-        lo = self._rename(self._lo[idx], mapping, key_map)
-        hi = self._rename(self._hi[idx], mapping, key_map)
-        nvar = mapping.get(var, var)
-        nlvl = self._level_of_var[nvar]
-        for child in (lo, hi):
-            if child >= 2 and self._node_level(child) <= nlvl:
-                raise BddError(
-                    "rename would reorder variables; use compose instead"
-                )
-        res = self._mk(nvar, lo, hi)
-        self._cache_insert(key, res)
-        return res
+        todo: List[Tuple] = [(_EXPAND, f)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == _EXPAND:
+                _, f = frame
+                if f < 2:
+                    results.append(f)
+                    continue
+                neg = f & 1
+                f ^= neg
+                a = (f << 6) | _OP_RENAME
+                stats[0] += 1
+                res = self._ck_get(a, map_id, 0)
+                if res >= 0:
+                    stats[1] += 1
+                    results.append(res ^ neg)
+                    continue
+                idx = f >> 1
+                todo.append((_REDUCE, self._var[idx], a, neg))
+                todo.append((_EXPAND, self._hi[idx]))
+                todo.append((_EXPAND, self._lo[idx]))
+            else:
+                _, var, a, neg = frame
+                hi = results.pop()
+                lo = results.pop()
+                nvar = mapping.get(var, var)
+                nlvl = self._level_of_var[nvar]
+                for child in (lo, hi):
+                    if child >= 2 and self._node_level(child) <= nlvl:
+                        raise BddError(
+                            "rename would reorder variables; use compose instead"
+                        )
+                res = self._mk(nvar, lo, hi)
+                self._ck_put(a, map_id, 0, res)
+                results.append(res ^ neg)
+        return results.pop()
 
     def compose(self, f: int, var, g: int) -> int:
-        """Substitute function ``g`` for variable ``var`` in ``f``."""
+        """Substitute function ``g`` for variable ``var`` in ``f``.
+
+        Routed through :meth:`vector_compose` so the substitution runs as
+        one cached Shannon recursion instead of two full cofactor
+        traversals plus an uncached ``ite``.
+        """
         v = var if isinstance(var, int) else self.var_index(var)
-        return self.ite(g, self.restrict(f, {v: True}), self.restrict(f, {v: False}))
+        return self.vector_compose(f, {v: g})
 
     def vector_compose(self, f: int, substitution: Dict[int, int]) -> int:
         """Simultaneously substitute functions for variables in ``f``.
@@ -829,32 +1245,44 @@ class BDD:
         """
         if not substitution:
             return f
-        key_map = tuple(sorted(substitution.items()))
-        self._ensure_depth()
-        return self._vcompose(f, substitution, key_map)
+        map_id = self._map_id(("vcomp",) + tuple(sorted(substitution.items())))
+        return self._vcompose(f, substitution, map_id)
 
-    def _vcompose(self, f: int, sub: Dict[int, int], key_map: Tuple) -> int:
-        if f < 2:
-            return f
-        if f & 1:
-            return self._vcompose(f ^ 1, sub, key_map) ^ 1
-        key = ("vcomp", f, key_map)
+    def _vcompose(self, f: int, sub: Dict[int, int], map_id: int) -> int:
         stats = self._op_stats["vcomp"]
-        stats[0] += 1
-        res = self._cache.get(key)
-        if res is not None:
-            stats[1] += 1
-            return res
-        idx = f >> 1
-        var = self._var[idx]
-        lo = self._vcompose(self._lo[idx], sub, key_map)
-        hi = self._vcompose(self._hi[idx], sub, key_map)
-        g = sub.get(var)
-        if g is None:
-            g = self.var(var)
-        res = self.ite(g, hi, lo)
-        self._cache_insert(key, res)
-        return res
+        todo: List[Tuple] = [(_EXPAND, f)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == _EXPAND:
+                _, f = frame
+                if f < 2:
+                    results.append(f)
+                    continue
+                neg = f & 1
+                f ^= neg
+                a = (f << 6) | _OP_VCOMP
+                stats[0] += 1
+                res = self._ck_get(a, map_id, 0)
+                if res >= 0:
+                    stats[1] += 1
+                    results.append(res ^ neg)
+                    continue
+                idx = f >> 1
+                todo.append((_REDUCE, self._var[idx], a, neg))
+                todo.append((_EXPAND, self._hi[idx]))
+                todo.append((_EXPAND, self._lo[idx]))
+            else:
+                _, var, a, neg = frame
+                hi = results.pop()
+                lo = results.pop()
+                g = sub.get(var)
+                if g is None:
+                    g = self.var(var)
+                res = self.ite(g, hi, lo)
+                self._ck_put(a, map_id, 0, res)
+                results.append(res ^ neg)
+        return results.pop()
 
     # ------------------------------------------------------------------
     # Cofactors and don't-care minimization
@@ -864,37 +1292,55 @@ class BDD:
         """Cofactor ``f`` with respect to a partial variable assignment."""
         if not assignment:
             return f
-        key_map = tuple(sorted(assignment.items()))
-        self._ensure_depth()
-        return self._restrict(f, assignment, key_map)
+        map_id = self._map_id(("restr",) + tuple(sorted(assignment.items())))
+        return self._restrict(f, assignment, map_id)
 
-    def _restrict(self, f: int, assignment: Dict[int, bool], key_map: Tuple) -> int:
-        if f < 2:
-            return f
-        if f & 1:
-            return self._restrict(f ^ 1, assignment, key_map) ^ 1
-        key = ("restr", f, key_map)
+    def _restrict(self, f: int, assignment: Dict[int, bool], map_id: int) -> int:
         stats = self._op_stats["restr"]
-        stats[0] += 1
-        res = self._cache.get(key)
-        if res is not None:
-            stats[1] += 1
-            return res
-        idx = f >> 1
-        var = self._var[idx]
-        if var in assignment:
-            res = self._restrict(
-                self._hi[idx] if assignment[var] else self._lo[idx],
-                assignment, key_map,
-            )
-        else:
-            res = self._mk(
-                var,
-                self._restrict(self._lo[idx], assignment, key_map),
-                self._restrict(self._hi[idx], assignment, key_map),
-            )
-        self._cache_insert(key, res)
-        return res
+        todo: List[Tuple] = [(_EXPAND, f)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            tag = frame[0]
+            if tag == _EXPAND:
+                _, f = frame
+                if f < 2:
+                    results.append(f)
+                    continue
+                neg = f & 1
+                f ^= neg
+                a = (f << 6) | _OP_RESTR
+                stats[0] += 1
+                res = self._ck_get(a, map_id, 0)
+                if res >= 0:
+                    stats[1] += 1
+                    results.append(res ^ neg)
+                    continue
+                idx = f >> 1
+                var = self._var[idx]
+                if var in assignment:
+                    todo.append((_REDUCE1, a, neg))
+                    todo.append((
+                        _EXPAND,
+                        self._hi[idx] if assignment[var] else self._lo[idx],
+                    ))
+                else:
+                    todo.append((_REDUCE, var, a, neg))
+                    todo.append((_EXPAND, self._hi[idx]))
+                    todo.append((_EXPAND, self._lo[idx]))
+            elif tag == _REDUCE:
+                _, var, a, neg = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._ck_put(a, map_id, 0, res)
+                results.append(res ^ neg)
+            else:  # _REDUCE1
+                _, a, neg = frame
+                res = results.pop()
+                self._ck_put(a, map_id, 0, res)
+                results.append(res ^ neg)
+        return results.pop()
 
     def cofactor_cube(self, f: int, cube: int) -> int:
         """Cofactor ``f`` by a (possibly negative-literal) cube BDD."""
@@ -921,36 +1367,61 @@ class BDD:
         """
         if c == FALSE:
             raise BddError("constrain by the empty care set is undefined")
-        self._ensure_depth()
         return self._constrain(f, c)
 
     def _constrain(self, f: int, c: int) -> int:
-        if c == TRUE or f < 2:
-            return f
-        if f & 1:
-            return self._constrain(f ^ 1, c) ^ 1
-        if f == c:
-            return TRUE
-        if f == (c ^ 1):
-            return FALSE
-        key = ("constrain", f, c)
         stats = self._op_stats["constrain"]
-        stats[0] += 1
-        res = self._cache.get(key)
-        if res is not None:
-            stats[1] += 1
-            return res
-        var = self.top_var(f, c)
-        f0, f1 = self._cofactors(f, var)
-        c0, c1 = self._cofactors(c, var)
-        if c0 == FALSE:
-            res = self._constrain(f1, c1)
-        elif c1 == FALSE:
-            res = self._constrain(f0, c0)
-        else:
-            res = self._mk(var, self._constrain(f0, c0), self._constrain(f1, c1))
-        self._cache_insert(key, res)
-        return res
+        todo: List[Tuple] = [(_EXPAND, f, c)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            tag = frame[0]
+            if tag == _EXPAND:
+                _, f, care = frame
+                if care == TRUE or f < 2:
+                    results.append(f)
+                    continue
+                neg = f & 1
+                f ^= neg
+                if f == care:
+                    results.append(TRUE ^ neg)
+                    continue
+                if f == (care ^ 1):
+                    results.append(FALSE ^ neg)
+                    continue
+                a = (f << 6) | _OP_CONSTRAIN
+                stats[0] += 1
+                res = self._ck_get(a, care, 0)
+                if res >= 0:
+                    stats[1] += 1
+                    results.append(res ^ neg)
+                    continue
+                var = self.top_var(f, care)
+                f0, f1 = self._cofactors(f, var)
+                c0, c1 = self._cofactors(care, var)
+                if c0 == FALSE:
+                    todo.append((_REDUCE1, a, care, neg))
+                    todo.append((_EXPAND, f1, c1))
+                elif c1 == FALSE:
+                    todo.append((_REDUCE1, a, care, neg))
+                    todo.append((_EXPAND, f0, c0))
+                else:
+                    todo.append((_REDUCE, var, a, care, neg))
+                    todo.append((_EXPAND, f1, c1))
+                    todo.append((_EXPAND, f0, c0))
+            elif tag == _REDUCE:
+                _, var, a, care, neg = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._ck_put(a, care, 0, res)
+                results.append(res ^ neg)
+            else:  # _REDUCE1
+                _, a, care, neg = frame
+                res = results.pop()
+                self._ck_put(a, care, 0, res)
+                results.append(res ^ neg)
+        return results.pop()
 
     def restrict_dc(self, f: int, c: int) -> int:
         """Coudert-Madre *restrict*: minimize ``f`` using care set ``c``.
@@ -963,43 +1434,66 @@ class BDD:
         """
         if c == FALSE:
             raise BddError("restrict by the empty care set is undefined")
-        self._ensure_depth()
         return self._restrict_dc(f, c)
 
     def _restrict_dc(self, f: int, c: int) -> int:
-        if c == TRUE or f < 2:
-            return f
-        if f & 1:
-            return self._restrict_dc(f ^ 1, c) ^ 1
-        key = ("restrdc", f, c)
         stats = self._op_stats["restrdc"]
-        stats[0] += 1
-        res = self._cache.get(key)
-        if res is not None:
-            stats[1] += 1
-            return res
-        lf, lc = self._node_level(f), self._node_level(c)
-        if lc < lf:
-            cidx = c >> 1
-            cc = c & 1
-            res = self._restrict_dc(
-                f, self.or_(self._lo[cidx] ^ cc, self._hi[cidx] ^ cc)
-            )
-        else:
-            idx = f >> 1
-            var = self._var[idx]
-            f0, f1 = self._lo[idx], self._hi[idx]
-            c0, c1 = self._cofactors(c, var)
-            if c0 == FALSE:
-                res = self._restrict_dc(f1, c1)
-            elif c1 == FALSE:
-                res = self._restrict_dc(f0, c0)
-            else:
-                res = self._mk(
-                    var, self._restrict_dc(f0, c0), self._restrict_dc(f1, c1)
-                )
-        self._cache_insert(key, res)
-        return res
+        todo: List[Tuple] = [(_EXPAND, f, c)]
+        results: List[int] = []
+        while todo:
+            frame = todo.pop()
+            tag = frame[0]
+            if tag == _EXPAND:
+                _, f, care = frame
+                if care == TRUE or f < 2:
+                    results.append(f)
+                    continue
+                neg = f & 1
+                f ^= neg
+                a = (f << 6) | _OP_RESTRDC
+                stats[0] += 1
+                res = self._ck_get(a, care, 0)
+                if res >= 0:
+                    stats[1] += 1
+                    results.append(res ^ neg)
+                    continue
+                lf, lc = self._node_level(f), self._node_level(care)
+                if lc < lf:
+                    cidx = care >> 1
+                    cc = care & 1
+                    quantified = self.or_(
+                        self._lo[cidx] ^ cc, self._hi[cidx] ^ cc
+                    )
+                    todo.append((_REDUCE1, a, care, neg))
+                    todo.append((_EXPAND, f, quantified))
+                else:
+                    idx = f >> 1
+                    var = self._var[idx]
+                    f0, f1 = self._lo[idx], self._hi[idx]
+                    c0, c1 = self._cofactors(care, var)
+                    if c0 == FALSE:
+                        todo.append((_REDUCE1, a, care, neg))
+                        todo.append((_EXPAND, f1, c1))
+                    elif c1 == FALSE:
+                        todo.append((_REDUCE1, a, care, neg))
+                        todo.append((_EXPAND, f0, c0))
+                    else:
+                        todo.append((_REDUCE, var, a, care, neg))
+                        todo.append((_EXPAND, f1, c1))
+                        todo.append((_EXPAND, f0, c0))
+            elif tag == _REDUCE:
+                _, var, a, care, neg = frame
+                hi = results.pop()
+                lo = results.pop()
+                res = self._mk(var, lo, hi)
+                self._ck_put(a, care, 0, res)
+                results.append(res ^ neg)
+            else:  # _REDUCE1
+                _, a, care, neg = frame
+                res = results.pop()
+                self._ck_put(a, care, 0, res)
+                results.append(res ^ neg)
+        return results.pop()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -1049,16 +1543,14 @@ class BDD:
     def var_population(self, var) -> int:
         """Number of live unique-table nodes labelled with ``var``."""
         v = var if isinstance(var, int) else self.var_index(var)
-        return len(self._unique[v])
+        return self._pop[v]
 
     def complement_edge_count(self) -> int:
         """Number of live nodes whose stored else-edge is complemented."""
-        var_arr = self._var
-        lo_arr = self._lo
-        return sum(
-            1 for i in range(1, len(var_arr))
-            if var_arr[i] >= 0 and (lo_arr[i] & 1)
-        )
+        n = self._n
+        return int(np.count_nonzero(
+            (self._var_np[:n] >= 0) & ((self._lo_np[:n] & 1) == 1)
+        ))
 
     def eval(self, f: int, assignment: Dict) -> bool:
         """Evaluate ``f`` under a total assignment (name or index keys)."""
@@ -1074,6 +1566,58 @@ class BDD:
             f = (self._hi[idx] if norm[var] else self._lo[idx]) ^ (f & 1)
         return f == TRUE
 
+    def eval_batch(self, f: int, assignments, variables=None) -> "np.ndarray":
+        """Evaluate ``f`` on many assignments at once (vectorized).
+
+        ``assignments`` is a 2-D boolean array-like, one row per
+        assignment.  Columns correspond to all declared variables (by
+        index) unless ``variables`` names the column order explicitly.
+        Returns a boolean array of results.  All rows walk the DAG in
+        lockstep — at most ``var_count`` numpy passes regardless of the
+        number of rows.
+        """
+        bits = np.asarray(assignments, dtype=bool)
+        if bits.ndim != 2:
+            raise BddError("assignments must be a 2-D boolean array")
+        if variables is None:
+            if bits.shape[1] != self.var_count:
+                raise BddError(
+                    "assignment width must equal var_count "
+                    f"({bits.shape[1]} != {self.var_count})"
+                )
+            full = bits
+            covered = None
+        else:
+            cols = [
+                v if isinstance(v, int) else self.var_index(v)
+                for v in variables
+            ]
+            if len(cols) != bits.shape[1]:
+                raise BddError("variables must match the assignment width")
+            full = np.zeros((bits.shape[0], self.var_count), dtype=bool)
+            full[:, cols] = bits
+            covered = set(cols)
+        if covered is not None:
+            for v in self.support(f):
+                if v not in covered:
+                    raise BddError(
+                        f"assignment misses variable {self.var_name(v)!r}"
+                    )
+        rows = full.shape[0]
+        handles = np.full(rows, f, dtype=np.int64)
+        var_np = self._var_np
+        lo_np = self._lo_np
+        hi_np = self._hi_np
+        active = np.flatnonzero(handles >= 2)
+        while active.size:
+            ha = handles[active]
+            idx = ha >> 1
+            branch = full[active, var_np[idx]]
+            child = np.where(branch, hi_np[idx], lo_np[idx]) ^ (ha & 1)
+            handles[active] = child
+            active = active[child >= 2]
+        return handles == TRUE
+
     def sat_count(self, f: int, care_vars: Optional[Sequence] = None) -> int:
         """Exact model count of ``f`` over ``care_vars``.
 
@@ -1081,10 +1625,11 @@ class BDD:
         the support of ``f``.  Exact arbitrary-precision arithmetic.
         Complement edges are handled by counting regular nodes and taking
         the complement against the suffix space at each complemented arc.
+        The node walk is an explicit-stack postorder, so deep chains never
+        touch the interpreter recursion limit.
         """
         import bisect
 
-        self._ensure_depth()
         if care_vars is None:
             care = list(range(self.var_count))
         else:
@@ -1095,39 +1640,51 @@ class BDD:
             if self._level_of_var[v] not in care_set:
                 raise BddError("care_vars must contain the support of f")
         n = len(care_levels)
+        lvl_of = self._level_of_var
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
 
         def rank(level: int) -> int:
             """Number of care variables with level < ``level``."""
             return bisect.bisect_left(care_levels, level)
 
+        # memo: regular node index -> model count over ranks >= its rank.
         memo: Dict[int, int] = {}
 
         def count_from(handle: int, from_rank: int) -> int:
-            # Models of ``handle`` over care vars of rank >= from_rank.
+            # Models of ``handle`` over care vars of rank >= from_rank;
+            # the regular node's count must already be memoized.
             if handle == TRUE:
                 return 1 << (n - from_rank)
             if handle == FALSE:
                 return 0
             idx = handle >> 1
-            node_rank = rank(self._level_of_var[self._var[idx]])
-            c = walk(idx)
+            node_rank = rank(lvl_of[var_arr[idx]])
+            c = memo[idx]
             if handle & 1:
                 c = (1 << (n - node_rank)) - c
             return c << (node_rank - from_rank)
 
-        def walk(idx: int) -> int:
-            # Models of the *regular* node over ranks >= its own rank.
-            got = memo.get(idx)
-            if got is not None:
-                return got
-            r = rank(self._level_of_var[self._var[idx]])
-            total = (
-                count_from(self._lo[idx], r + 1)
-                + count_from(self._hi[idx], r + 1)
-            )
-            memo[idx] = total
-            return total
-
+        root_idx = f >> 1
+        if root_idx:
+            stack: List[Tuple[int, bool]] = [(root_idx, False)]
+            while stack:
+                idx, ready = stack.pop()
+                if idx in memo:
+                    continue
+                if ready:
+                    r = rank(lvl_of[var_arr[idx]])
+                    memo[idx] = (
+                        count_from(lo_arr[idx], r + 1)
+                        + count_from(hi_arr[idx], r + 1)
+                    )
+                    continue
+                stack.append((idx, True))
+                for child in (lo_arr[idx], hi_arr[idx]):
+                    ci = child >> 1
+                    if ci and ci not in memo:
+                        stack.append((ci, False))
         return count_from(f, 0)
 
     def pick_cube(self, f: int, care_vars: Optional[Sequence] = None) -> Optional[Dict[int, bool]]:
@@ -1159,36 +1716,43 @@ class BDD:
         return cube
 
     def sat_iter(self, f: int, care_vars: Sequence) -> Iterator[Dict[int, bool]]:
-        """Enumerate all total satisfying assignments over ``care_vars``."""
-        self._ensure_depth()
+        """Enumerate all total satisfying assignments over ``care_vars``.
+
+        Iterative DFS: each stack frame records the branch value taken
+        into it, applied to a shared prefix assignment when the frame is
+        popped (sibling subtrees only ever rewrite deeper positions, so
+        the prefix stays valid).
+        """
         care = [v if isinstance(v, int) else self.var_index(v) for v in care_vars]
         care_sorted = sorted(care, key=lambda v: self._level_of_var[v])
-
-        def expand(node: int, idx: int, acc: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+        m = len(care_sorted)
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        acc: Dict[int, bool] = {}
+        # (node, depth, branch): branch is the value of care_sorted[depth-1].
+        stack: List[Tuple[int, int, bool]] = [(f, 0, False)]
+        while stack:
+            node, depth, branch = stack.pop()
+            if depth:
+                acc[care_sorted[depth - 1]] = branch
             if node == FALSE:
-                return
-            if idx == len(care_sorted):
+                continue
+            if depth == m:
                 if node == TRUE:
                     yield dict(acc)
-                return
-            var = care_sorted[idx]
-            node_var = self._var[node >> 1] if node >= 2 else None
+                continue
+            var = care_sorted[depth]
+            node_var = var_arr[node >> 1] if node >= 2 else -1
             if node_var == var:
                 c = node & 1
-                n_idx = node >> 1
-                lo, hi = self._lo[n_idx] ^ c, self._hi[n_idx] ^ c
-                for val, child in ((False, lo), (True, hi)):
-                    acc[var] = val
-                    yield from expand(child, idx + 1, acc)
-                del acc[var]
+                idx = node >> 1
+                stack.append((hi_arr[idx] ^ c, depth + 1, True))
+                stack.append((lo_arr[idx] ^ c, depth + 1, False))
             else:
                 # node does not test var (or is TRUE): both branches.
-                for val in (False, True):
-                    acc[var] = val
-                    yield from expand(node, idx + 1, acc)
-                del acc[var]
-
-        yield from expand(f, 0, {})
+                stack.append((node, depth + 1, True))
+                stack.append((node, depth + 1, False))
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -1215,36 +1779,61 @@ class BDD:
         for i, node in enumerate(nodes):
             self._roots[f"{prefix}.{i}"] = node
 
+    def _mark(self, extra_roots: Iterable[int]) -> "np.ndarray":
+        """Vectorized reachability: boolean mask over node indices.
+
+        Frontier BFS over the numpy columns — each wave gathers the
+        children of the newly marked nodes in one pass (marking masks off
+        the complement bit, so both polarities survive together).
+        """
+        n = self._n
+        lo_np = self._lo_np[:n]
+        hi_np = self._hi_np[:n]
+        marked = np.zeros(n, dtype=bool)
+        marked[0] = True
+        roots = [h >> 1 for h in self._roots.values()]
+        roots.extend(h >> 1 for h in extra_roots)
+        if roots:
+            frontier = np.unique(np.asarray(roots, dtype=np.int64))
+            frontier = frontier[~marked[frontier]]
+            while frontier.size:
+                marked[frontier] = True
+                kids = np.unique(np.concatenate(
+                    (lo_np[frontier] >> 1, hi_np[frontier] >> 1)
+                ))
+                frontier = kids[~marked[kids]]
+        return marked
+
+    def _recount_populations(self) -> None:
+        """Rebuild the per-variable live node counts from the columns."""
+        n = self._n
+        var_np = self._var_np[:n]
+        live = np.flatnonzero(var_np >= 0)
+        counts = np.bincount(var_np[live], minlength=self.var_count)
+        self._pop = [int(x) for x in counts]
+
     def gc(self, extra_roots: Iterable[int] = ()) -> int:
         """Mark-and-sweep collection; returns the number of nodes freed.
 
         Keeps every node reachable from registered roots plus
-        ``extra_roots``.  Node indices of live nodes are stable (marking
-        masks off the complement bit, so both polarities survive
-        together).  The computed cache is cleared only when nodes were
-        actually freed (a no-op sweep cannot leave dangling entries).
+        ``extra_roots``.  Node indices of live nodes are stable — the
+        sweep only blanks dead slots and recycles them through the free
+        list, so handles held in engine locals survive.  Mark, sweep and
+        the unique-table rebuild are vectorized numpy passes.  The
+        computed cache is cleared only when nodes were actually freed (a
+        no-op sweep cannot leave dangling entries).
         """
-        marked = set()
-        stack = [h >> 1 for h in self._roots.values()]
-        stack.extend(h >> 1 for h in extra_roots)
-        while stack:
-            idx = stack.pop()
-            if idx == 0 or idx in marked:
-                continue
-            marked.add(idx)
-            stack.append(self._lo[idx] >> 1)
-            stack.append(self._hi[idx] >> 1)
-        freed = 0
-        for node in range(1, len(self._var)):
-            if node in marked or self._var[node] < 0:
-                continue
-            table = self._unique[self._var[node]]
-            table.pop((self._lo[node], self._hi[node]), None)
-            self._var[node] = -1
-            self._free.append(node)
-            freed += 1
+        n = self._n
+        var_np = self._var_np[:n]
+        marked = self._mark(extra_roots)
+        dead = np.flatnonzero((var_np >= 0) & ~marked)
+        freed = int(dead.size)
         if freed:
-            self._cache.clear()
+            var_np[dead] = -1
+            self._free.extend(dead.tolist())
+            self._ut_rebuild()
+            self._recount_populations()
+            self.clear_cache()
         self.gc_count += 1
         self._gc_pending = False
         self._nodes_since_gc = 0
@@ -1254,6 +1843,58 @@ class BDD:
             runs=self.gc_count,
         )
         return freed
+
+    def compact(self, extra_roots: Iterable[int] = ()) -> List[int]:
+        """Compacting collection: drop dead nodes AND close the gaps.
+
+        Unlike :meth:`gc` (index-stable), compaction *moves* nodes: live
+        nodes are renumbered contiguously from the bottom of the columns
+        in one vectorized sweep (old -> new index map, children/roots
+        remapped through it, unique table rebuilt).  Every handle not
+        reachable from a registered root or ``extra_roots`` is
+        invalidated; registered roots are remapped in place and the
+        remapped ``extra_roots`` are returned in order.  Strictly a
+        safe-point operation — callers must re-read every handle they
+        keep from the remapped roots (see docs/kernel.md).
+        """
+        extra = list(extra_roots)
+        n = self._n
+        var_np, lo_np, hi_np = self._var_np, self._lo_np, self._hi_np
+        marked = self._mark(extra)
+        live = np.flatnonzero(marked)  # index 0 is always first
+        new_n = int(live.size)
+        freed = (self._n - len(self._free)) - new_n
+        newidx = np.full(n, -1, dtype=np.int64)
+        newidx[live] = np.arange(new_n, dtype=np.int64)
+        var2 = var_np[live].copy()
+        lo_old = lo_np[live]
+        hi_old = hi_np[live]
+        lo2 = (newidx[lo_old >> 1] << 1) | (lo_old & 1)
+        hi2 = (newidx[hi_old >> 1] << 1) | (hi_old & 1)
+        var_np[:new_n] = var2
+        lo_np[:new_n] = lo2
+        hi_np[:new_n] = hi2
+        var_np[new_n:n] = -1
+        lo_np[new_n:n] = 0
+        hi_np[new_n:n] = 0
+        self._n = new_n
+        self._free = []
+        self._roots = {
+            name: int((newidx[h >> 1] << 1) | (h & 1))
+            for name, h in self._roots.items()
+        }
+        self._ut_rebuild()
+        self._recount_populations()
+        self.clear_cache()
+        self.compact_count += 1
+        self._gc_pending = False
+        self._nodes_since_gc = 0
+        self.tracer.instant(
+            "bdd.compact", cat="bdd",
+            freed=freed, live=len(self), roots=len(self._roots),
+            runs=self.compact_count,
+        )
+        return [int((newidx[h >> 1] << 1) | (h & 1)) for h in extra]
 
     def maybe_gc(self, extra_roots: Iterable[int] = ()) -> int:
         """Run pending collections/reorders iff auto-managed ones are due.
@@ -1298,7 +1939,7 @@ class BDD:
                 stats = sift_in_place(self, extra_roots=extra)
                 after = len(self)
                 # Swaps invalidate structure-keyed cache entries.
-                self._cache.clear()
+                self.clear_cache()
         finally:
             self._in_reorder = False
             self._reorder_pending = False
@@ -1326,14 +1967,15 @@ class BDD:
         Valid only at a safe point right after :meth:`gc`: every live
         node is then reachable from the counted references, so sifting
         can free nodes eagerly the moment their count drops to zero.
+        Built with one vectorized bincount over the child columns.
         """
-        refs = [0] * len(self._var)
-        var_arr = self._var
-        for idx in range(1, len(var_arr)):
-            if var_arr[idx] < 0:
-                continue
-            refs[self._lo[idx] >> 1] += 1
-            refs[self._hi[idx] >> 1] += 1
+        n = self._n
+        var_np = self._var_np[:n]
+        live = np.flatnonzero(var_np >= 0)
+        children = np.concatenate(
+            (self._lo_np[live] >> 1, self._hi_np[live] >> 1)
+        ) if live.size else np.empty(0, dtype=np.int64)
+        refs = np.bincount(children, minlength=n).tolist()
         for h in self._roots.values():
             refs[h >> 1] += 1
         for h in extra_roots:
@@ -1343,17 +1985,18 @@ class BDD:
     def _deref(self, handle: int, refs: List[int]) -> None:
         """Drop one reference; recursively free nodes reaching zero."""
         stack = [handle >> 1]
+        var_arr = self._var
         while stack:
             idx = stack.pop()
             if idx == 0:
                 continue
             refs[idx] -= 1
-            if refs[idx] == 0 and self._var[idx] >= 0:
-                table = self._unique[self._var[idx]]
-                table.pop((self._lo[idx], self._hi[idx]), None)
+            if refs[idx] == 0 and var_arr[idx] >= 0:
+                self._ut_delete(idx)
+                self._pop[var_arr[idx]] -= 1
                 stack.append(self._lo[idx] >> 1)
                 stack.append(self._hi[idx] >> 1)
-                self._var[idx] = -1
+                var_arr[idx] = -1
                 self._free.append(idx)
 
     def _mk_ref(self, var: int, lo: int, hi: int, refs: List[int]) -> int:
@@ -1369,28 +2012,55 @@ class BDD:
         if neg:
             lo ^= 1
             hi ^= 1
-        table = self._unique[var]
-        key = (lo, hi)
-        node = table.get(key)
-        if node is None:
-            if self._free:
-                node = self._free.pop()
-                self._var[node] = var
-                self._lo[node] = lo
-                self._hi[node] = hi
-            else:
-                node = len(self._var)
-                self._var.append(var)
-                self._lo.append(lo)
-                self._hi.append(hi)
-                refs.append(0)
-            table[key] = node
-            refs[node] = 0
-            refs[lo >> 1] += 1
-            refs[hi >> 1] += 1
-            live = len(self._var) - len(self._free) + 1
-            if live > self.peak_live_nodes:
-                self.peak_live_nodes = live
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        ut = self._ut
+        mask = self._ut_mask
+        h = (var * _H1 + lo * _H2 + hi * _H3) & _M64
+        h ^= h >> 16
+        slot = h & mask
+        tomb = -1
+        while True:
+            e = ut[slot]
+            if e == 0:
+                break
+            if e < 0:
+                if tomb < 0:
+                    tomb = slot
+            elif var_arr[e] == var and lo_arr[e] == lo and hi_arr[e] == hi:
+                return (e << 1) | neg
+            slot = (slot + 1) & mask
+        if self._free:
+            node = self._free.pop()
+        else:
+            node = self._n
+            if node == self._cap:
+                self._grow_nodes()
+                var_arr = self._var
+                lo_arr = self._lo
+                hi_arr = self._hi
+            self._n = node + 1
+        var_arr[node] = var
+        lo_arr[node] = lo
+        hi_arr[node] = hi
+        if tomb >= 0:
+            ut[tomb] = node
+        else:
+            ut[slot] = node
+            self._ut_filled += 1
+        self._ut_used += 1
+        self._pop[var] += 1
+        if node == len(refs):
+            refs.append(0)
+        refs[node] = 0
+        refs[lo >> 1] += 1
+        refs[hi >> 1] += 1
+        live = self._n - len(self._free) + 1
+        if live > self.peak_live_nodes:
+            self.peak_live_nodes = live
+        if self._ut_filled * 4 >= self._ut_size * 3:
+            self._ut_rebuild()
         return (node << 1) | neg
 
     def _swap_levels_only(self, lvl: int) -> None:
@@ -1415,17 +2085,22 @@ class BDD:
         eagerly.  The canonical form survives because a handle's polarity
         equals its value on the all-ones assignment, which no variable
         order can change.  Returns the number of nodes rewritten.
+
+        The snapshot of ``x``-labelled nodes is a vectorized column scan;
+        nodes created during the loop are x-labelled children below the
+        swap window and must not be revisited, and nodes freed mid-loop
+        are always below ``x`` (only children are dereferenced), so the
+        snapshot stays valid.
         """
         x = self._var_at_level[lvl]
         y = self._var_at_level[lvl + 1]
         self._swap_levels_only(lvl)
+        snapshot = np.flatnonzero(self._var_np[:self._n] == x).tolist()
         var_arr = self._var
         lo_arr = self._lo
         hi_arr = self._hi
-        unique_x = self._unique[x]
-        unique_y = self._unique[y]
         moved = 0
-        for node in list(unique_x.values()):
+        for node in snapshot:
             lo = lo_arr[node]
             hi = hi_arr[node]
             lo_idx = lo >> 1
@@ -1448,26 +2123,24 @@ class BDD:
                 f10 = f11 = hi
             new_lo = self._mk_ref(x, f00, f10, refs)
             new_hi = self._mk_ref(x, f01, f11, refs)
+            if self._var is not var_arr:
+                var_arr = self._var
+                lo_arr = self._lo
+                hi_arr = self._hi
             # Relabel in place: same index, same function, y on top now.
-            del unique_x[(lo, hi)]
+            self._ut_delete(node)
             var_arr[node] = y
             lo_arr[node] = new_lo
             hi_arr[node] = new_hi
-            unique_y[(new_lo, new_hi)] = node
+            self._ut_insert_node(node)
+            self._pop[x] -= 1
+            self._pop[y] += 1
             refs[new_lo >> 1] += 1
             refs[new_hi >> 1] += 1
             self._deref(lo, refs)
             self._deref(hi, refs)
             moved += 1
         return moved
-
-    def clear_cache(self) -> None:
-        """Drop the computed cache (useful to bound memory in long runs)."""
-        self._cache.clear()
-
-    def cache_size(self) -> int:
-        """Number of entries in the computed cache."""
-        return len(self._cache)
 
     def cache_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-operator computed-cache statistics.
@@ -1512,12 +2185,17 @@ class BDD:
         """Manager statistics (live nodes, cache entries, variables, GCs)."""
         return {
             "live_nodes": len(self),
-            "allocated_nodes": len(self._var) + 1,
-            "cache_entries": len(self._cache),
+            "allocated_nodes": self._n + 1,
+            "node_capacity": self._cap,
+            "cache_entries": self._ck_used,
+            "cache_capacity": self._ck_cap,
             "cache_evictions": self.cache_evictions,
+            "unique_slots": self._ut_size,
+            "unique_used": self._ut_used,
             "peak_live_nodes": self.peak_live_nodes,
             "variables": self.var_count,
             "gc_runs": self.gc_count,
+            "compact_runs": self.compact_count,
             "not_calls": self.not_calls,
             "std_rewrites": self.std_rewrites,
             "complement_edges": self.complement_edge_count(),
@@ -1525,3 +2203,6 @@ class BDD:
             "reorder_swaps": self.sift_swaps,
             "reorder_fast_swaps": self.sift_fast_swaps,
         }
+
+
+

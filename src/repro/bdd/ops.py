@@ -20,30 +20,32 @@ def transfer(f: int, src: BDD, dst: BDD, var_map: Dict[int, int]) -> int:
     Shannon expansion in destination order via ``ite``, so the result is
     canonical in ``dst``.  This is the basis of rebuild-based reordering.
     """
-    src._ensure_depth()
+    if f < 2:
+        return f
+    # Explicit-stack postorder over *regular* source indices; complement
+    # edges transfer for free (dst is complement-edged too), so a handle
+    # maps to ``memo[index] ^ complement``.  Terminal handles are shared
+    # constants in both managers.
     memo: Dict[int, int] = {}
-
-    def walk(node: int) -> int:
-        if node == FALSE:
-            return dst.false
-        if node == TRUE:
-            return dst.true
-        if node & 1:
-            # Complement edges transfer for free: copy the regular node
-            # once and flip the bit (dst is complement-edged too).
-            return walk(node ^ 1) ^ 1
-        got = memo.get(node)
-        if got is not None:
-            return got
-        idx = node >> 1
-        var = src._var[idx]
-        lo = walk(src._lo[idx])
-        hi = walk(src._hi[idx])
-        res = dst.ite(dst.var(var_map[var]), hi, lo)
-        memo[node] = res
-        return res
-
-    return walk(f)
+    root = f >> 1
+    stack = [(root, False)]
+    while stack:
+        idx, ready = stack.pop()
+        if idx in memo:
+            continue
+        if not ready:
+            stack.append((idx, True))
+            for child in (src._lo[idx], src._hi[idx]):
+                ci = child >> 1
+                if ci and ci not in memo:
+                    stack.append((ci, False))
+            continue
+        lo_h = src._lo[idx]
+        hi_h = src._hi[idx]
+        lo = (memo[lo_h >> 1] ^ (lo_h & 1)) if lo_h >= 2 else lo_h
+        hi = (memo[hi_h >> 1] ^ (hi_h & 1)) if hi_h >= 2 else hi_h
+        memo[idx] = dst.ite(dst.var(var_map[src._var[idx]]), hi, lo)
+    return memo[root] ^ (f & 1)
 
 
 def cube_union_vars(bdd: BDD, cubes: Iterable[int]) -> int:

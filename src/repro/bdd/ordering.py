@@ -27,7 +27,10 @@ Dynamic reordering comes in two forms:
   ``auto_reorder`` knob run it at GC safe points.  A variable-interaction
   matrix turns swaps of non-interacting levels into pure bookkeeping,
   and a lower-bound estimate skips whole directions that cannot beat the
-  best size already found.
+  best size already found.  Each swap snapshots the upper level straight
+  off the manager's flat ``var`` column (one vectorized scan) and
+  relabels nodes in place in the array store; per-level populations are
+  O(1) counter reads, so the lower bound costs nothing to evaluate.
 """
 
 from __future__ import annotations
@@ -164,7 +167,7 @@ def shared_size_under(
 
 
 def population_order(src: BDD) -> List[int]:
-    """Variables sorted by unique-table population, most populous first.
+    """Variables sorted by live node population, most populous first.
 
     Ties break towards the variable closer to the top of the order, so
     the result is deterministic.  This is the processing order Rudell

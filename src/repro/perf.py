@@ -146,6 +146,17 @@ class EngineStats:
                 f"{s['cache_evictions']} evictions, "
                 f"{self.bdd.cache_hit_rate():.1%} hit rate"
             )
+            lines.append(
+                "  store: "
+                f"{s['node_capacity']} node slots "
+                f"({s['allocated_nodes'] / s['node_capacity']:.1%} allocated)   "
+                f"unique table: {s['unique_used']}/{s['unique_slots']} "
+                f"({s['unique_used'] / s['unique_slots']:.1%} load)   "
+                f"cache occupancy: {s['cache_entries']}/{s['cache_capacity']} "
+                f"({s['cache_entries'] / s['cache_capacity']:.1%})"
+            )
+            if s["compact_runs"]:
+                lines.append(f"  compactions: {s['compact_runs']} run(s)")
             if s["reorder_runs"]:
                 lines.append(
                     f"  reorder: {s['reorder_runs']} run(s), "

@@ -1,0 +1,100 @@
+"""Serving-layer throughput: cold jobs vs cache hits.
+
+The job server's economics rest on one claim — a repeated submission
+is answered from the content-addressed cache orders of magnitude
+faster than a cold verification — plus reasonable cold-job throughput
+through the bounded queue.  This bench boots a real in-process
+:class:`HsisServer`, measures jobs/s for a batch of distinct cold
+submissions and for the same batch resubmitted (all cache hits), and
+records both rates so ``compare.py`` gates the cached path against
+``benchmarks/baseline.json``.  The ≥10x cached-speedup acceptance bar
+is asserted here outright, not just recorded.
+"""
+
+import asyncio
+import time
+
+from repro.serve import HsisServer, ServeClient
+
+#: Distinct cold submissions per measured batch (mixed check + fuzz).
+COLD_JOBS = 8
+#: Cache-hit submissions per measured batch (same requests, round-robin).
+CACHED_JOBS = 64
+
+
+def _batch(count):
+    """A deterministic mixed batch of ``count`` distinct submissions."""
+    designs = ["traffic", "elevator", "rrarbiter", "vending"]
+    jobs = []
+    for i in range(count):
+        if i % 2 == 0:
+            jobs.append(
+                ("check", {"design": {"gallery": designs[(i // 2) % 4]},
+                           "knobs": {"auto_reorder": 10_000 + i}})
+            )
+        else:
+            jobs.append(("fuzz", {"knobs": {"trials": 1, "seed": i}}))
+    return jobs
+
+
+async def _submit_all(port, jobs):
+    async def one(kind, kwargs):
+        async with ServeClient(port=port) as client:
+            return await client.submit(kind, **kwargs)
+
+    return await asyncio.gather(*[one(kind, kw) for kind, kw in jobs])
+
+
+async def _measure(tmp_dir):
+    server = HsisServer(
+        host="127.0.0.1", port=0, jobs=4, timeout=120.0,
+        cache_dir=str(tmp_dir / "cache"),
+    )
+    await server.start()
+    try:
+        cold_jobs = _batch(COLD_JOBS)
+        start = time.perf_counter()
+        cold = await _submit_all(server.port, cold_jobs)
+        cold_s = time.perf_counter() - start
+
+        cached_jobs = [
+            cold_jobs[i % COLD_JOBS] for i in range(CACHED_JOBS)
+        ]
+        start = time.perf_counter()
+        cached = await _submit_all(server.port, cached_jobs)
+        cached_s = time.perf_counter() - start
+        return cold, cold_s, cached, cached_s, dict(server.stats.counters)
+    finally:
+        await server.stop()
+
+
+def test_cold_vs_cached_throughput(tmp_path, results_collector):
+    cold, cold_s, cached, cached_s, counters = asyncio.run(
+        _measure(tmp_path)
+    )
+    assert all(r["ok"] and not r["cached"] for r in cold)
+    assert all(r["ok"] and r["cached"] for r in cached)
+    assert counters["serve.jobs"] == COLD_JOBS, "cache missed a repeat"
+
+    cold_per_job = cold_s / COLD_JOBS
+    cached_per_job = cached_s / CACHED_JOBS
+    speedup = cold_per_job / cached_per_job
+    # The acceptance bar: a repeat answer is >=10x faster than cold.
+    assert speedup >= 10.0, (
+        f"cached path only {speedup:.1f}x faster "
+        f"({cold_per_job * 1e3:.1f}ms cold vs "
+        f"{cached_per_job * 1e3:.1f}ms cached)"
+    )
+
+    results_collector(
+        "serve",
+        "mixed_batch",
+        {
+            "cold_jobs": COLD_JOBS,
+            "cold_s": round(cold_s, 3),
+            "cold_jobs_per_s": round(COLD_JOBS / cold_s, 2),
+            "cached_jobs": CACHED_JOBS,
+            "cached_jobs_per_s": round(CACHED_JOBS / cached_s, 2),
+            "speedup_x": round(speedup, 1),
+        },
+    )

@@ -33,7 +33,7 @@ from repro.lc import check_containment
 from repro.network import SymbolicFsm
 from repro.pif import PifFile, parse_pif_file
 from repro.sim import Simulator
-from repro.trace import Tracer, summary as trace_summary, write_trace
+from repro.trace import Tracer, safe_write_trace, summary as trace_summary
 from repro.verilog import compile_verilog
 
 
@@ -511,11 +511,23 @@ def _print_final_stats(shell: HsisShell) -> None:
         print(shell.fsm.stats.format())
 
 
-def _write_trace_file(tracer: Optional[Tracer], path: Optional[str]) -> None:
+def _write_trace_file(tracer: Optional[Tracer], path: Optional[str]) -> bool:
+    """Write the run's trace; on failure print a clear error, not a
+    traceback (and never crash after the verification work succeeded).
+
+    Returns False when the file could not be written so callers can
+    surface it in their exit code.  Serve mode reuses the same
+    :func:`repro.trace.export.safe_write_trace` underneath for its
+    per-job trace files.
+    """
     if tracer is None or path is None:
-        return
-    fmt = write_trace(tracer, path)
+        return True
+    fmt, error = safe_write_trace(tracer, path)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return False
     print(f"trace: wrote {len(tracer)} events to {path} ({fmt})")
+    return True
 
 
 def _positive_int(text: str) -> int:
@@ -612,8 +624,8 @@ def _fuzz_main(argv: List[str]) -> int:
     print(sweep.summary())
     if opts.stats:
         print(stats.format())
-    _write_trace_file(stats.tracer if opts.trace else None, opts.trace)
-    return 0 if sweep.ok else 1
+    trace_ok = _write_trace_file(stats.tracer if opts.trace else None, opts.trace)
+    return 0 if sweep.ok and trace_ok else 1
 
 
 def _check_main(argv: List[str]) -> int:
@@ -689,8 +701,8 @@ def _check_main(argv: List[str]) -> int:
     )
     if opts.stats:
         print(stats.format())
-    _write_trace_file(stats.tracer if opts.trace else None, opts.trace)
-    return 0 if passed == len(verdicts) else 1
+    trace_ok = _write_trace_file(stats.tracer if opts.trace else None, opts.trace)
+    return 0 if passed == len(verdicts) and trace_ok else 1
 
 
 def _load_profile_design(target: str, pif_path: Optional[str]):
@@ -780,8 +792,215 @@ def _profile_main(argv: List[str]) -> int:
             print(f"mc {prop_name}: {verdict} ({result.seconds:.2f}s)")
     print(trace_summary(tracer, title=f"trace summary ({name})"))
     print(fsm.stats.format())
-    _write_trace_file(tracer, opts.trace)
-    return 0
+    return 0 if _write_trace_file(tracer, opts.trace) else 1
+
+
+def _serve_main(argv: List[str]) -> int:
+    """``hsis serve`` — the persistent async verification job server."""
+    import asyncio
+
+    from repro.parallel import default_jobs
+    from repro.serve import DEFAULT_CACHE_DIR, HsisServer
+
+    parser = argparse.ArgumentParser(
+        prog="hsis serve",
+        description=(
+            "Accept concurrent check/fuzz/profile jobs over a "
+            "newline-delimited JSON protocol, dispatching them onto "
+            "crash-isolated worker processes with a persistent "
+            "content-addressed result cache (see docs/serving.md)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="TCP port (default 0: pick an ephemeral port and print it)",
+    )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="concurrent worker processes (default: one per core)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"persistent result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-job deadline enforced by worker reaping (default 300)",
+    )
+    parser.add_argument(
+        "--memory-limit", type=_positive_int, default=None, metavar="MB",
+        help="per-job address-space quota in MiB (RLIMIT_AS in the worker)",
+    )
+    parser.add_argument(
+        "--backlog", type=_positive_int, default=64, metavar="N",
+        help="bounded job-queue depth; further submissions are refused",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one JSONL tracer timeline per job into DIR",
+    )
+    opts = parser.parse_args(argv)
+
+    async def _run() -> int:
+        server = HsisServer(
+            host=opts.host,
+            port=opts.port,
+            jobs=opts.jobs if opts.jobs is not None else default_jobs(),
+            cache_dir=opts.cache_dir,
+            timeout=opts.timeout,
+            memory_limit=(
+                opts.memory_limit * 1024 * 1024
+                if opts.memory_limit is not None else None
+            ),
+            backlog=opts.backlog,
+            trace_dir=opts.trace_dir,
+        )
+        try:
+            await server.start()
+        except OSError as exc:
+            print(f"error: cannot bind {opts.host}:{opts.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(
+            f"hsis serve: listening on {server.host}:{server.port} "
+            f"(jobs={server.jobs}, cache={opts.cache_dir})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("hsis serve: interrupted", file=sys.stderr)
+        return 0
+
+
+def _client_design_arg(target: str):
+    """CLI design reference -> protocol design object (+ optional pif)."""
+    if target.startswith("gallery:"):
+        return {"gallery": target[len("gallery:"):]}
+    if target.endswith(".v"):
+        with open(target) as handle:
+            return {"verilog": handle.read()}
+    if target.endswith(".mv"):
+        with open(target) as handle:
+            return {"blifmv": handle.read()}
+    return {"gallery": target}
+
+
+def _client_main(argv: List[str]) -> int:
+    """``hsis client`` — scriptable front end for a running server."""
+    import asyncio
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    parser = argparse.ArgumentParser(
+        prog="hsis client",
+        description="Submit jobs to (and query) a running `hsis serve`.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    parser.add_argument("--port", type=_positive_int, required=True,
+                        metavar="P")
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_check = sub.add_parser("check", help="model check a design's properties")
+    p_check.add_argument("design", help=".mv/.v file or gallery:NAME")
+    p_check.add_argument("pif", nargs="?", default=None,
+                         help="PIF file (gallery designs bring their own)")
+    p_fuzz = sub.add_parser("fuzz", help="run a differential sweep")
+    p_fuzz.add_argument("--trials", type=_positive_int, default=None)
+    p_fuzz.add_argument("--seed", type=int, default=None)
+    p_profile = sub.add_parser("profile", help="reachability profile")
+    p_profile.add_argument("design", help=".mv/.v file or gallery:NAME")
+    p_profile.add_argument("--method", default=None, metavar="M")
+    p_profile.add_argument("--partitioned", action="store_true")
+    for p in (p_check, p_fuzz, p_profile):
+        p.add_argument("--auto-reorder", type=_positive_int, default=None,
+                       metavar="N")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS")
+        p.add_argument("--stream", action="store_true",
+                       help="print per-job tracer events as they stream")
+    p_check.add_argument("--cache-limit", type=_positive_int, default=None,
+                         metavar="N")
+    p_check.add_argument("--auto-gc", type=_positive_int, default=None,
+                         metavar="N")
+    p_status = sub.add_parser("status", help="queue / cache / stats snapshot")
+    p_status.add_argument("job", nargs="?", default=None)
+    p_cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    p_cancel.add_argument("job")
+    opts = parser.parse_args(argv)
+
+    async def _run() -> int:
+        client = ServeClient(opts.host, opts.port)
+        try:
+            await client.connect()
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach {opts.host}:{opts.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            if opts.verb == "status":
+                print(json.dumps(await client.status(opts.job), indent=2,
+                                 sort_keys=True))
+                return 0
+            if opts.verb == "cancel":
+                print(json.dumps(await client.cancel(opts.job), indent=2,
+                                 sort_keys=True))
+                return 0
+            knobs = {}
+            design = None
+            pif = None
+            if opts.verb == "fuzz":
+                for name in ("trials", "seed", "auto_reorder"):
+                    if getattr(opts, name) is not None:
+                        knobs[name] = getattr(opts, name)
+            else:
+                design = _client_design_arg(opts.design)
+                if opts.verb == "check":
+                    if opts.pif is not None:
+                        with open(opts.pif) as handle:
+                            pif = handle.read()
+                    for name in ("auto_reorder", "cache_limit", "auto_gc"):
+                        if getattr(opts, name) is not None:
+                            knobs[name] = getattr(opts, name)
+                else:
+                    if opts.method is not None:
+                        knobs["method"] = opts.method
+                    if opts.partitioned:
+                        knobs["partitioned"] = True
+                    if opts.auto_reorder is not None:
+                        knobs["auto_reorder"] = opts.auto_reorder
+            on_event = None
+            if opts.stream:
+                def on_event(line):
+                    print(json.dumps(line, sort_keys=True))
+            result = await client.submit(
+                opts.verb, design=design, pif=pif, knobs=knobs,
+                stream=opts.stream, timeout=opts.timeout,
+                on_event=on_event,
+            )
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0 if result.get("ok") else 1
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -793,6 +1012,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _check_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return _client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hsis", description="HSIS reproduction shell"
     )
@@ -845,8 +1068,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
         _print_final_stats(shell)
-        _write_trace_file(tracer, opts.trace)
-        return 0
+        return 0 if _write_trace_file(tracer, opts.trace) else 1
     print("HSIS reproduction shell — 'help' lists commands, ctrl-D exits")
     while True:
         try:
@@ -854,8 +1076,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except EOFError:
             print()
             _print_final_stats(shell)
-            _write_trace_file(tracer, opts.trace)
-            return 0
+            return 0 if _write_trace_file(tracer, opts.trace) else 1
         try:
             output = shell.execute(line)
             if output:

@@ -30,6 +30,7 @@ from repro.parallel.check import PropertyVerdict, check_properties
 from repro.parallel.pool import PoolError, WorkerPool, default_jobs
 from repro.parallel.sweep import run_sweep_parallel
 from repro.parallel.tasks import (
+    STATUS_CANCELLED,
     STATUS_CRASHED,
     STATUS_ERROR,
     STATUS_OK,
@@ -44,6 +45,7 @@ __all__ = [
     "PoolError",
     "PropertyVerdict",
     "ResultEnvelope",
+    "STATUS_CANCELLED",
     "STATUS_CRASHED",
     "STATUS_ERROR",
     "STATUS_OK",

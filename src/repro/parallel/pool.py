@@ -39,6 +39,7 @@ from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.parallel.tasks import (
+    STATUS_CANCELLED,
     STATUS_CRASHED,
     STATUS_ERROR,
     STATUS_OK,
@@ -58,7 +59,19 @@ REAP_GRACE_SECONDS = 0.5
 POLL_CAP_SECONDS = 0.05
 
 
-def _attempt_main(conn, fn, args, kwargs) -> None:
+def _apply_memory_limit(limit: Optional[int]) -> None:
+    """Cap the worker's address space (best effort, POSIX only)."""
+    if not limit:
+        return
+    try:
+        import resource
+
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ImportError, ValueError, OSError):
+        pass  # unsupported platform / privilege: quota is advisory
+
+
+def _attempt_main(conn, fn, args, kwargs, memory_limit=None) -> None:
     """Worker-side entry: run the task, ship one message, exit.
 
     The message is ``(status, value, stats, error, seconds)``.  Any
@@ -66,6 +79,7 @@ def _attempt_main(conn, fn, args, kwargs) -> None:
     only a hard kill (``os._exit``, signal) leaves the parent without a
     message, which it classifies as a crash.
     """
+    _apply_memory_limit(memory_limit)
     start = time.perf_counter()
     status, value, stats, error = STATUS_OK, None, None, None
     try:
@@ -149,6 +163,26 @@ class WorkerPool:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
+        # Cooperative cancellation flag.  Setting it (from any thread —
+        # it is a single attribute write) makes the next scheduler pass
+        # reap every in-flight worker and finalize all unfinished tasks
+        # with ``cancelled`` envelopes; ``hsis serve`` uses this to kill
+        # a running job from the event loop.
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation of the current / next :meth:`run`.
+
+        Thread-safe.  Every task that has not already produced a final
+        envelope is reported as ``cancelled``; in-flight workers are
+        terminated (SIGTERM, then SIGKILL).  The flag stays set, so a
+        cancelled pool must not be reused.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     # ------------------------------------------------------------------
 
@@ -205,6 +239,33 @@ class WorkerPool:
                 )
 
         while ready or delayed or active:
+            if self._cancelled:
+                now = time.monotonic()
+                for entry in active:
+                    self._reap(entry, force=True)
+                    finalize(
+                        entry.index,
+                        ResultEnvelope(
+                            task_id=entry.task.task_id,
+                            status=STATUS_CANCELLED,
+                            error="task cancelled while running",
+                            attempts=entry.attempt,
+                            seconds=now - entry.started,
+                        ),
+                    )
+                pending = [(t, i, a) for t, i, a in ready]
+                pending += [(t, i, a) for _, t, i, a in delayed]
+                for task, index, attempt in pending:
+                    finalize(
+                        index,
+                        ResultEnvelope(
+                            task_id=task.task_id,
+                            status=STATUS_CANCELLED,
+                            error="task cancelled before it started",
+                            attempts=attempt - 1,
+                        ),
+                    )
+                break
             now = time.monotonic()
             # Promote retries whose backoff has elapsed.
             due = [item for item in delayed if item[0] <= now]
@@ -292,7 +353,8 @@ class WorkerPool:
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_attempt_main,
-            args=(send_conn, task.fn, task.args, task.kwargs),
+            args=(send_conn, task.fn, task.args, task.kwargs,
+                  task.memory_limit),
             daemon=True,
             name=f"hsis-pool-{task.task_id}-a{attempt}",
         )

@@ -21,10 +21,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.perf import EngineStats
 
 #: Envelope statuses, from best to worst.
-STATUS_OK = "ok"            # task returned a value
-STATUS_ERROR = "error"      # task raised; traceback tail in ``error``
-STATUS_TIMEOUT = "timeout"  # task exceeded its deadline and was reaped
-STATUS_CRASHED = "crashed"  # worker process died without reporting
+STATUS_OK = "ok"              # task returned a value
+STATUS_ERROR = "error"        # task raised; traceback tail in ``error``
+STATUS_TIMEOUT = "timeout"    # task exceeded its deadline and was reaped
+STATUS_CRASHED = "crashed"    # worker process died without reporting
+STATUS_CANCELLED = "cancelled"  # pool was cancelled before the task finished
 
 
 @dataclass
@@ -34,6 +35,10 @@ class Task:
     ``fn`` must be addressable by qualified name from a worker process
     (a module-level function — not a lambda or a closure).  ``timeout``
     and ``retries`` override the pool defaults for this task only.
+    ``memory_limit`` (bytes) caps the worker's address space via
+    ``RLIMIT_AS`` on platforms that support it; an allocation past the
+    quota raises in the worker and surfaces as an ``error`` (or, for a
+    hard native death, a ``crashed``) envelope.
     """
 
     task_id: str
@@ -42,6 +47,7 @@ class Task:
     kwargs: Dict[str, Any] = field(default_factory=dict)
     timeout: Optional[float] = None
     retries: Optional[int] = None
+    memory_limit: Optional[int] = None
 
 
 @dataclass

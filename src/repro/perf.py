@@ -87,6 +87,21 @@ class EngineStats:
         """Increment a named event counter."""
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def counter(self, name: str) -> int:
+        """Current value of a named counter (0 if never bumped)."""
+        return self.counters.get(name, 0)
+
+    def rate(self, counter: str, phase: str) -> float:
+        """Events per second: ``counter`` over ``phase`` wall time.
+
+        The serve layer aggregates every job's worker ``EngineStats``
+        into one server-level collector via :meth:`merge`; this derives
+        throughput numbers (jobs/s, trials/s) from the merged totals.
+        Returns 0.0 when the phase never ran.
+        """
+        seconds = self.phase_seconds(phase)
+        return self.counter(counter) / seconds if seconds > 0 else 0.0
+
     def merge(self, other: "EngineStats") -> None:
         """Fold another collector's phases and counters into this one.
 

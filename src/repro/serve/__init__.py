@@ -1,0 +1,52 @@
+"""Verification-as-a-service: the ``hsis serve`` async job server.
+
+Turns the crash-isolated :mod:`repro.parallel` pool and the structured
+:mod:`repro.trace` tracer into a serving substrate:
+
+* :mod:`repro.serve.protocol` — newline-delimited JSON wire format,
+  submission validation, knob canonicalization.
+* :mod:`repro.serve.cache` — persistent content-addressed result cache
+  (``.hsis-cache/``) with integrity-checked, atomically written entries.
+* :mod:`repro.serve.jobs` — picklable worker bodies for the ``check`` /
+  ``fuzz`` / ``profile`` job kinds (the same code the one-shot CLI runs).
+* :mod:`repro.serve.server` — :class:`HsisServer`: bounded job queue,
+  per-job process isolation with timeout/memory quotas, in-flight
+  deduplication, tracer-event streaming, ``status``/``cancel``.
+* :mod:`repro.serve.client` — :class:`ServeClient` plus the ``hsis
+  client`` scripting surface.
+
+Semantics are pinned by ``tests/test_serve.py`` (concurrency, dedup,
+serial==served parity), ``tests/test_serve_faults.py`` (hostile
+workers and clients), and ``tests/test_serve_cache.py`` (on-disk
+integrity); see ``docs/serving.md``.
+"""
+
+from repro.serve.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from repro.serve.client import ServeClient, ServeError, wait_for_server
+from repro.serve.protocol import (
+    KINDS,
+    KNOB_DEFAULTS,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    SubmitRequest,
+    canonical_knobs,
+    parse_submit,
+)
+from repro.serve.server import HsisServer
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "HsisServer",
+    "KINDS",
+    "KNOB_DEFAULTS",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "SubmitRequest",
+    "cache_key",
+    "canonical_knobs",
+    "parse_submit",
+    "wait_for_server",
+]

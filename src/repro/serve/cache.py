@@ -1,0 +1,145 @@
+"""Content-addressed result cache for the job server (``.hsis-cache/``).
+
+The serve layer's repeated-traffic win: the same verification request
+hashed twice is verified once.  A cache entry is keyed by
+:func:`cache_key` — a SHA-256 over the canonical JSON of (kind,
+resolved design text, property text, canonical knobs) — so any change
+to the design, the properties, or a result-affecting knob forks the
+key, while formatting of the *request* (knob order, defaults spelled
+out or not) does not.
+
+Entries are one JSON file per key, written atomically via
+:func:`repro.parallel.atomic.atomic_write_json` so a crashed server
+can never leave a truncated entry.  Each entry carries an integrity
+digest over its result payload; :meth:`ResultCache.load` re-derives it
+and treats any mismatch (bit rot, manual truncation, a concurrent
+writer from an older version) as a miss — the server recomputes and
+rewrites the entry, again atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.parallel.atomic import atomic_write_json
+
+CACHE_VERSION = 1
+
+#: Default cache directory, relative to the server's working directory.
+DEFAULT_CACHE_DIR = ".hsis-cache"
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(
+    kind: str,
+    design_text: Optional[str],
+    pif_text: Optional[str],
+    knobs: Dict[str, Any],
+) -> str:
+    """The canonical content hash of one verification request."""
+    blob = _canonical(
+        {
+            "v": CACHE_VERSION,
+            "kind": kind,
+            "design": design_text or "",
+            "pif": pif_text or "",
+            "knobs": knobs,
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_digest(result: Any) -> str:
+    """Integrity digest stored alongside (and checked against) a result."""
+    return hashlib.sha256(_canonical(result).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent, integrity-checked map from cache key to job result."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the verified entry for ``key``, or None.
+
+        A present-but-unverifiable entry (unparseable JSON, key
+        mismatch, digest mismatch) counts as corrupt *and* as a miss;
+        the caller recomputes and overwrites it.
+        """
+        path = self.path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("key") != key
+            or "result" not in entry
+            or entry.get("result_sha") != result_digest(entry["result"])
+        ):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        key: str,
+        kind: str,
+        result: Any,
+        seconds: float,
+    ) -> str:
+        """Atomically write the entry for ``key``; returns its path."""
+        path = self.path(key)
+        atomic_write_json(
+            path,
+            {
+                "version": CACHE_VERSION,
+                "key": key,
+                "kind": kind,
+                "result": result,
+                "result_sha": result_digest(result),
+                "seconds": seconds,
+            },
+        )
+        self.stores += 1
+        return path
+
+    def entry_count(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self.root) if name.endswith(".json")
+            )
+        except OSError:
+            return 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "entries": self.entry_count(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+        }

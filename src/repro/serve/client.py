@@ -1,0 +1,179 @@
+"""Async client for the ``hsis serve`` protocol.
+
+:class:`ServeClient` is the scripting/test surface: one TCP
+connection, coroutine methods per protocol op.  ``hsis client``
+wraps it for the shell.  The client is deliberately sequential per
+connection — ``submit`` reads lines until its job's ``result``
+arrives, handing any interleaved ``event`` lines to an optional
+callback — so drive concurrent jobs with one client per job (the
+server happily serves thousands of sockets) or use
+:meth:`submit_nowait` / :meth:`wait_result` to overlap submission
+and completion on one socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve.protocol import MAX_LINE_BYTES, ProtocolError, decode, encode
+
+
+class ServeError(Exception):
+    """The server answered with an error line, or hung up."""
+
+
+class ServeClient:
+    """One connection to a running ``hsis serve``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+
+    async def _send(self, message: Dict[str, Any]) -> None:
+        assert self._writer is not None, "not connected"
+        self._writer.write(encode(message))
+        await self._writer.drain()
+
+    async def _recv(self) -> Dict[str, Any]:
+        assert self._reader is not None, "not connected"
+        line = await self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            return decode(line)
+        except ProtocolError as exc:  # pragma: no cover - server bug
+            raise ServeError(f"unparseable server line: {exc}")
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response (status / cancel / ping)."""
+        await self._send(message)
+        return await self._recv()
+
+    # ------------------------------------------------------------------
+
+    async def submit_nowait(
+        self,
+        kind: str,
+        design: Optional[Dict[str, str]] = None,
+        pif: Optional[str] = None,
+        knobs: Optional[Dict[str, Any]] = None,
+        stream: bool = False,
+        timeout: Optional[float] = None,
+        client_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Send a submission; return the ack (``submitted``) — or, for
+        a cache hit, the immediate ``result`` line — without waiting
+        for execution.  Raises :class:`ServeError` on a refusal."""
+        message: Dict[str, Any] = {"op": "submit", "kind": kind}
+        if design is not None:
+            message["design"] = design
+        if pif is not None:
+            message["pif"] = pif
+        if knobs:
+            message["knobs"] = knobs
+        if stream:
+            message["stream"] = True
+        if timeout is not None:
+            message["timeout"] = timeout
+        if client_id is not None:
+            message["id"] = client_id
+        await self._send(message)
+        reply = await self._recv()
+        if not reply.get("ok") and reply.get("op") == "error":
+            raise ServeError(reply.get("error") or "submission refused")
+        return reply
+
+    async def wait_result(
+        self,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Read until the next ``result`` line; relay events en route."""
+        while True:
+            reply = await self._recv()
+            op = reply.get("op")
+            if op == "result":
+                return reply
+            if op == "event":
+                if on_event is not None:
+                    on_event(reply)
+                continue
+            if op == "error":
+                raise ServeError(reply.get("error") or "server error")
+            # submitted acks for pipelined jobs etc.: ignore here.
+
+    async def submit(
+        self,
+        kind: str,
+        design: Optional[Dict[str, str]] = None,
+        pif: Optional[str] = None,
+        knobs: Optional[Dict[str, Any]] = None,
+        stream: bool = False,
+        timeout: Optional[float] = None,
+        client_id: Optional[str] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Submit one job and block until its ``result`` line."""
+        ack = await self.submit_nowait(
+            kind, design=design, pif=pif, knobs=knobs, stream=stream,
+            timeout=timeout, client_id=client_id,
+        )
+        if ack.get("op") == "result":  # served straight from the cache
+            return ack
+        return await self.wait_result(on_event=on_event)
+
+    async def status(self, job: Optional[str] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "status"}
+        if job is not None:
+            message["job"] = job
+        return await self.request(message)
+
+    async def cancel(self, job: str) -> Dict[str, Any]:
+        return await self.request({"op": "cancel", "job": job})
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+
+async def wait_for_server(
+    host: str, port: int, deadline: float = 10.0
+) -> None:
+    """Poll until a server accepts connections (for freshly booted ones)."""
+    loop = asyncio.get_running_loop()
+    end = loop.time() + deadline
+    while True:
+        try:
+            client = ServeClient(host, port)
+            await client.connect()
+            await client.ping()
+            await client.close()
+            return
+        except (ConnectionError, OSError, ServeError):
+            if loop.time() >= end:
+                raise
+            await asyncio.sleep(0.05)

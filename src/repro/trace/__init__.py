@@ -8,6 +8,7 @@ from repro.trace.tracer import NULL_SPAN, Span, Tracer
 from repro.trace.export import (
     load_chrome,
     read_jsonl,
+    safe_write_trace,
     summary,
     to_chrome,
     validate_chrome,
@@ -27,6 +28,7 @@ __all__ = [
     "Tracer",
     "load_chrome",
     "read_jsonl",
+    "safe_write_trace",
     "summary",
     "to_chrome",
     "validate_chrome",

@@ -20,7 +20,7 @@ FILE`` goes through it.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.trace.tracer import Event, Tracer
 
@@ -210,6 +210,22 @@ def write_trace(source, path: str) -> str:
         return "summary"
     write_chrome(source, path)
     return "chrome"
+
+
+def safe_write_trace(source, path: str) -> Tuple[Optional[str], Optional[str]]:
+    """:func:`write_trace` that reports failure instead of raising.
+
+    Returns ``(format, None)`` on success and ``(None, reason)`` when
+    the file cannot be written (unwritable directory, read-only file,
+    disk full).  Both the CLI's ``--trace FILE`` and the serve layer's
+    per-job trace files go through this, so a bad trace path surfaces
+    as a clear one-line error and never aborts the run that produced
+    the events.
+    """
+    try:
+        return write_trace(source, path), None
+    except OSError as exc:
+        return None, f"cannot write trace file {path!r}: {exc}"
 
 
 def _fmt_args(args: Sequence) -> str:  # pragma: no cover - debug helper

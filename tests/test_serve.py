@@ -1,0 +1,264 @@
+"""Concurrency coverage for the ``hsis serve`` async job server.
+
+Every test boots a real :class:`HsisServer` in-process on an ephemeral
+port and drives it with asyncio clients over real sockets.  The pinned
+guarantees: many concurrent mixed jobs all complete with the right
+answers, duplicate submissions are served from the persistent cache or
+coalesced onto the in-flight worker (visible through ``cached`` /
+``coalesced`` flags and the server's job counters), and a served
+verdict is bit-identical to what the serial engine computes.
+"""
+
+import asyncio
+
+from repro.ctl import ModelChecker
+from repro.models import GALLERY, get_spec
+from repro.network import SymbolicFsm
+from repro.serve import HsisServer, ServeClient
+
+#: Hard ceiling on any one test's server interaction; hitting it means
+#: the queue stalled, which is exactly what these tests must rule out.
+STALL_BUDGET_SECONDS = 120.0
+
+
+def serve_test(body, tmp_path, **server_kwargs):
+    """Boot a server on an ephemeral port, run ``body(server)``, stop."""
+    server_kwargs.setdefault("jobs", 4)
+    server_kwargs.setdefault("timeout", 60.0)
+    server_kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+
+    async def main():
+        server = HsisServer(host="127.0.0.1", port=0, **server_kwargs)
+        await server.start()
+        try:
+            return await asyncio.wait_for(
+                body(server), timeout=STALL_BUDGET_SECONDS
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+async def submit_one(port, kind, **kwargs):
+    """One job on its own connection (clients are sequential per socket)."""
+    async with ServeClient(port=port) as client:
+        return await client.submit(kind, **kwargs)
+
+
+def gallery_check_designs():
+    """Gallery designs that ship CTL properties (what ``check`` needs)."""
+    names = [n for n in sorted(GALLERY) if get_spec(n).pif.ctl_props]
+    assert names, "gallery lost its CTL-carrying designs"
+    return names
+
+
+class TestConcurrency:
+    def test_sixteen_concurrent_mixed_jobs(self, tmp_path):
+        """≥16 distinct check/fuzz/profile jobs in flight at once, all
+        completing with ok verdicts and one pool run per job."""
+        checks = gallery_check_designs()[:4]
+        profiles = ["gcd", "railroad", "traffic"]
+        seeds = range(9)
+
+        async def body(server):
+            jobs = (
+                [
+                    submit_one(server.port, "check", design={"gallery": n})
+                    for n in checks
+                ]
+                + [
+                    submit_one(server.port, "profile", design={"gallery": n})
+                    for n in profiles
+                ]
+                + [
+                    submit_one(
+                        server.port, "fuzz", knobs={"trials": 1, "seed": s}
+                    )
+                    for s in seeds
+                ]
+            )
+            assert len(jobs) >= 16
+            results = await asyncio.gather(*jobs)
+            return results, dict(server.stats.counters)
+
+        results, counters = serve_test(body, tmp_path)
+        assert all(r["ok"] for r in results)
+        assert all(r["status"] == "ok" for r in results)
+        assert not any(r["cached"] for r in results), "all jobs distinct"
+        job_ids = [r["job"] for r in results]
+        assert len(set(job_ids)) == len(job_ids), "no spurious dedup"
+        # One pool execution per submission: nothing dropped, nothing rerun.
+        assert counters["serve.jobs"] == len(results)
+        assert counters["serve.jobs.ok"] == len(results)
+        assert counters["serve.submitted"] == len(results)
+        assert counters.get("serve.coalesced", 0) == 0
+        for r in results:
+            assert r["attempts"] == 1
+
+    def test_streamed_job_reports_lifecycle_events(self, tmp_path):
+        async def body(server):
+            events = []
+            async with ServeClient(port=server.port) as client:
+                result = await client.submit(
+                    "check",
+                    design={"gallery": "traffic"},
+                    stream=True,
+                    on_event=events.append,
+                )
+            return result, events
+
+        result, events = serve_test(body, tmp_path, jobs=1)
+        assert result["ok"]
+        names = [e["event"]["name"] for e in events]
+        assert "serve.job.start" in names
+        assert "serve.job.done" in names
+        # The worker's own tracer timeline rides along before the result.
+        assert len(names) > 2, "no worker events relayed"
+
+
+class TestDeduplication:
+    def test_repeat_submission_is_served_from_cache(self, tmp_path):
+        async def body(server):
+            async with ServeClient(port=server.port) as client:
+                first = await client.submit(
+                    "check", design={"gallery": "traffic"}
+                )
+                second = await client.submit(
+                    "check", design={"gallery": "traffic"}
+                )
+            return first, second, dict(server.stats.counters), \
+                server.cache.snapshot()
+
+        first, second, counters, cache = serve_test(body, tmp_path, jobs=2)
+        assert first["ok"] and not first["cached"]
+        assert second["ok"] and second["cached"]
+        assert second["status"] == "ok"
+        assert second["seconds"] == 0.0  # served without running anything
+        assert second["cold_seconds"] > 0.0
+        assert second["attempts"] == 0
+        assert second["result"] == first["result"]
+        assert second["key"] == first["key"]
+        # Exactly one pool execution happened for the two submissions.
+        assert counters["serve.jobs"] == 1
+        assert counters["serve.cache_hits"] == 1
+        assert cache["stores"] == 1 and cache["hits"] == 1
+
+    def test_cache_survives_server_restart(self, tmp_path):
+        """The cache is persistent: a fresh server instance over the same
+        directory serves yesterday's results without recomputing."""
+        cache_dir = str(tmp_path / "cache")
+
+        async def cold(server):
+            return await submit_one(
+                server.port, "check", design={"gallery": "elevator"}
+            )
+
+        async def warm(server):
+            result = await submit_one(
+                server.port, "check", design={"gallery": "elevator"}
+            )
+            return result, dict(server.stats.counters)
+
+        first = serve_test(cold, tmp_path, cache_dir=cache_dir)
+        second, counters = serve_test(warm, tmp_path, cache_dir=cache_dir)
+        assert not first["cached"] and second["cached"]
+        assert second["result"] == first["result"]
+        assert counters.get("serve.jobs", 0) == 0, "nothing recomputed"
+
+    def test_concurrent_identical_submissions_coalesce(self, tmp_path):
+        """Six clients racing the same request share one execution."""
+        fanout = 6
+
+        async def body(server):
+            clients = [ServeClient(port=server.port) for _ in range(fanout)]
+            for client in clients:
+                await client.connect()
+            try:
+                acks = []
+                for client in clients:
+                    acks.append(
+                        await client.submit_nowait(
+                            "check", design={"gallery": "rrarbiter"}
+                        )
+                    )
+                results = []
+                for client, ack in zip(clients, acks):
+                    if ack.get("op") == "result":  # lost the race: cache hit
+                        results.append(ack)
+                    else:
+                        results.append(await client.wait_result())
+            finally:
+                for client in clients:
+                    await client.close()
+            return acks, results, dict(server.stats.counters)
+
+        acks, results, counters = serve_test(body, tmp_path, jobs=2)
+        fresh = [
+            a for a in acks
+            if a.get("op") == "submitted" and not a["coalesced"]
+        ]
+        coalesced = [
+            a for a in acks if a.get("op") == "submitted" and a["coalesced"]
+        ]
+        cached = [a for a in acks if a.get("op") == "result"]
+        assert len(fresh) == 1, "exactly one submission runs"
+        assert len(coalesced) + len(cached) == fanout - 1
+        # Coalesced waiters ride the very same job id.
+        assert {a["job"] for a in coalesced} <= {fresh[0]["job"]}
+        assert counters["serve.jobs"] == 1
+        assert counters.get("serve.coalesced", 0) == len(coalesced)
+        payloads = [r["result"] for r in results]
+        assert all(r["ok"] for r in results)
+        assert all(p == payloads[0] for p in payloads)
+
+
+class TestParity:
+    def _serial_verdicts(self, name):
+        spec = get_spec(name)
+        fsm = SymbolicFsm(spec.flat())
+        pif = spec.pif
+        checker = ModelChecker(fsm, fairness=pif.bind_fairness(fsm))
+        return {
+            prop: checker.check(formula).holds
+            for prop, formula in pif.ctl_props
+        }
+
+    def test_served_verdicts_match_serial_engine(self, tmp_path):
+        """served == serial on every CTL-carrying gallery design."""
+        designs = gallery_check_designs()
+
+        async def body(server):
+            results = await asyncio.gather(
+                *[
+                    submit_one(server.port, "check", design={"gallery": n})
+                    for n in designs
+                ]
+            )
+            return dict(zip(designs, results))
+
+        served = serve_test(body, tmp_path)
+        for name in designs:
+            result = served[name]
+            assert result["ok"], f"{name}: {result['error']}"
+            got = {
+                v["name"]: v["holds"] for v in result["result"]["verdicts"]
+            }
+            assert got == self._serial_verdicts(name), name
+
+    def test_status_snapshot_accounts_for_every_job(self, tmp_path):
+        async def body(server):
+            async with ServeClient(port=server.port) as client:
+                await client.submit("fuzz", knobs={"trials": 1, "seed": 0})
+                await client.submit("fuzz", knobs={"trials": 1, "seed": 1})
+                status = await client.status()
+            return status
+
+        status = serve_test(body, tmp_path, jobs=1)
+        assert status["ok"]
+        assert status["jobs"] == {"done": 2}
+        assert status["queue_depth"] == 0
+        assert status["inflight"] == 0
+        assert status["counters"]["serve.jobs"] == 2
+        assert status["cache"]["stores"] == 2
+        assert len(status["recent"]) == 2

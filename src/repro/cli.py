@@ -582,6 +582,14 @@ def _fuzz_main(argv: List[str]) -> int:
         ),
     )
     parser.add_argument(
+        "--portfolio", type=_positive_int, default=None, metavar="K",
+        help=(
+            "exercise the first K ordering-portfolio heuristics: trial i "
+            "runs under heuristic i mod K (deterministic round-robin, no "
+            "racing; see docs/ordering.md)"
+        ),
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help=(
             "record a structured event trace (.jsonl, .txt summary, or "
@@ -610,6 +618,7 @@ def _fuzz_main(argv: List[str]) -> int:
             shrink=not opts.no_shrink,
             progress=progress,
             auto_reorder=opts.auto_reorder,
+            portfolio=opts.portfolio,
         )
     else:
         sweep = run_sweep(
@@ -620,6 +629,7 @@ def _fuzz_main(argv: List[str]) -> int:
             shrink=not opts.no_shrink,
             progress=progress,
             auto_reorder=opts.auto_reorder,
+            portfolio=opts.portfolio,
         )
     print(sweep.summary())
     if opts.stats:
@@ -646,6 +656,25 @@ def _check_main(argv: List[str]) -> int:
     parser.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
         help="check up to N properties concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--portfolio", type=_positive_int, default=None, metavar="K",
+        help=(
+            "race K candidate variable orders as worker processes, keep "
+            "the first finisher, and remember the winning order per "
+            "design in the order cache (see docs/ordering.md)"
+        ),
+    )
+    parser.add_argument(
+        "--orders-dir", default=None, metavar="DIR",
+        help="winning-order cache directory (default .hsis-orders)",
+    )
+    parser.add_argument(
+        "--results", default=None, metavar="FILE",
+        help=(
+            "write the verdicts as deterministic JSON (no timings), "
+            "byte-identical across --jobs/--portfolio settings"
+        ),
     )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -680,14 +709,32 @@ def _check_main(argv: List[str]) -> int:
     stats = EngineStats()
     if opts.trace:
         stats.tracer = Tracer()
-    verdicts = check_properties(
-        flat,
-        pif.ctl_props,
-        pif.fairness,
-        jobs=opts.jobs,
-        stats=stats,
-        timeout=opts.timeout,
-    )
+    if opts.portfolio is not None:
+        from repro.ordering_portfolio import DEFAULT_ORDERS_DIR, run_portfolio_check
+
+        verdicts, provenance = run_portfolio_check(
+            flat,
+            pif.ctl_props,
+            pif.fairness,
+            k=opts.portfolio,
+            orders_dir=opts.orders_dir or DEFAULT_ORDERS_DIR,
+            stats=stats,
+            timeout=opts.timeout,
+        )
+        print(
+            f"portfolio: {provenance['source']} "
+            f"(heuristic {provenance['heuristic']}, "
+            f"{provenance['candidates']} candidate(s))"
+        )
+    else:
+        verdicts = check_properties(
+            flat,
+            pif.ctl_props,
+            pif.fairness,
+            jobs=opts.jobs,
+            stats=stats,
+            timeout=opts.timeout,
+        )
     for verdict in verdicts:
         print(verdict.format())
         if verdict.error:
@@ -699,6 +746,28 @@ def _check_main(argv: List[str]) -> int:
         f"check: {len(verdicts)} properties, {passed} passed, "
         f"{failed} failed, {errors} errored (jobs={opts.jobs})"
     )
+    if opts.results:
+        from repro.parallel import atomic_write_json
+
+        # Only deterministic fields: identical bytes regardless of
+        # jobs/portfolio/timing (the parity tests assert this).
+        atomic_write_json(
+            opts.results,
+            {
+                "properties": [
+                    {
+                        "name": v.name,
+                        "formula": v.formula,
+                        "holds": v.holds,
+                        "status": v.status,
+                    }
+                    for v in verdicts
+                ],
+                "passed": passed,
+                "failed": failed,
+                "errors": errors,
+            },
+        )
     if opts.stats:
         print(stats.format())
     trace_ok = _write_trace_file(stats.tracer if opts.trace else None, opts.trace)
@@ -828,6 +897,20 @@ def _serve_main(argv: List[str]) -> int:
         help=f"persistent result cache directory (default {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
+        "--cache-max-mib", type=_positive_int, default=None, metavar="MIB",
+        help=(
+            "size-cap the result cache; least-recently-used entries are "
+            "evicted past the cap (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--orders-dir", default=None, metavar="DIR",
+        help=(
+            "winning-order cache for portfolio check jobs "
+            "(default .hsis-orders)"
+        ),
+    )
+    parser.add_argument(
         "--timeout", type=float, default=300.0, metavar="SECONDS",
         help="per-job deadline enforced by worker reaping (default 300)",
     )
@@ -858,6 +941,11 @@ def _serve_main(argv: List[str]) -> int:
             ),
             backlog=opts.backlog,
             trace_dir=opts.trace_dir,
+            cache_max_bytes=(
+                opts.cache_max_mib * 1024 * 1024
+                if opts.cache_max_mib is not None else None
+            ),
+            orders_dir=opts.orders_dir,
         )
         try:
             await server.start()
@@ -934,6 +1022,9 @@ def _client_main(argv: List[str]) -> int:
                          metavar="N")
     p_check.add_argument("--auto-gc", type=_positive_int, default=None,
                          metavar="N")
+    p_check.add_argument("--portfolio", type=_positive_int, default=None,
+                         metavar="K",
+                         help="race K candidate variable orders server-side")
     p_status = sub.add_parser("status", help="queue / cache / stats snapshot")
     p_status.add_argument("job", nargs="?", default=None)
     p_cancel = sub.add_parser("cancel", help="cancel a queued or running job")
@@ -970,7 +1061,8 @@ def _client_main(argv: List[str]) -> int:
                     if opts.pif is not None:
                         with open(opts.pif) as handle:
                             pif = handle.read()
-                    for name in ("auto_reorder", "cache_limit", "auto_gc"):
+                    for name in ("auto_reorder", "cache_limit", "auto_gc",
+                                 "portfolio"):
                         if getattr(opts, name) is not None:
                             knobs[name] = getattr(opts, name)
                 else:

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bdd.manager import BDD
 from repro.bdd.mdd import MddManager, MvVar
-from repro.bdd.ordering import affinity_order
+from repro.bdd.ordering import affinity_order, validate_permutation
 from repro.blifmv.ast import Any_, BlifMvError, Eq, Model, Table, ValueSet
 from repro.network.quantify import Conjunct
 
@@ -84,19 +84,29 @@ def encode(
     auto_gc: Optional[int] = None,
     cache_limit: Optional[int] = None,
     auto_reorder: Optional[int] = None,
+    order: Optional[List[str]] = None,
 ) -> EncodedNetwork:
     """Encode a flat model (no subcircuits) into an :class:`EncodedNetwork`.
 
     ``order_method`` is ``"affinity"`` (interacting-FSM heuristic) or
     ``"declared"`` (first-use order; the naive baseline for the ordering
-    ablation).  ``auto_gc``, ``cache_limit`` and ``auto_reorder``
-    configure the kernel's self-management knobs (see
-    :class:`repro.bdd.manager.BDD`).
+    ablation).  ``order`` overrides both with an explicit permutation of
+    the model's declared variables (the ordering portfolio races such
+    candidates; see :mod:`repro.ordering_portfolio`) — latch outputs in
+    the order still get their present/next bits interleaved.  ``auto_gc``,
+    ``cache_limit`` and ``auto_reorder`` configure the kernel's
+    self-management knobs (see :class:`repro.bdd.manager.BDD`).
     """
     if model.subckts:
         raise BlifMvError("encode() needs a flat model; call flatten() first")
     model.validate()
-    if order_method == "affinity":
+    if order is not None:
+        problem = validate_permutation(order, model.declared_variables())
+        if problem is not None:
+            raise BlifMvError(f"explicit variable order rejected: {problem}")
+        order = list(order)
+        order_method = "explicit"
+    elif order_method == "affinity":
         order = variable_order(model)
     elif order_method == "declared":
         order = model.declared_variables()

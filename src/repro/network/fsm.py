@@ -63,6 +63,7 @@ class SymbolicFsm:
         cache_limit: Optional[int] = None,
         auto_reorder: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        order: Optional[List[str]] = None,
     ):
         self.stats = EngineStats()
         if tracer is not None:
@@ -74,6 +75,7 @@ class SymbolicFsm:
                 auto_gc=auto_gc,
                 cache_limit=cache_limit,
                 auto_reorder=auto_reorder,
+                order=order,
             )
         self.mdd: MddManager = self.network.mdd
         self.bdd: BDD = self.mdd.bdd

@@ -299,14 +299,24 @@ def run_case(
     seed: int,
     stats: EngineStats,
     auto_reorder: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> List[Divergence]:
     """Cross-check one generated case end-to-end.  Engine exceptions are
     reported as ``crash`` divergences rather than raised.
 
     ``auto_reorder`` arms dynamic sifting in every symbolic engine the
-    case spins up; the verdicts must not change."""
+    case spins up; the verdicts must not change.  ``portfolio`` (K)
+    installs ordering-portfolio heuristic ``seed % K`` as the explicit
+    variable order — deterministic round-robin rather than racing, so
+    every candidate order faces the oracle across a sweep while
+    parallel and serial sweeps stay bit-identical."""
     divergences: List[Divergence] = []
     model = case["model"]
+    order = None
+    if portfolio:
+        from repro.ordering_portfolio import portfolio_order_for
+
+        _, order = portfolio_order_for(model, portfolio, seed)
     with stats.phase("fuzz.oracle"):
         kripke = ExplicitKripke(model)
         ex_reached, ex_rings = kripke.reachable()
@@ -314,7 +324,8 @@ def run_case(
 
     # -- reachability --------------------------------------------------
     with stats.phase("fuzz.reach"):
-        fsm = SymbolicFsm(model, tracer=stats.tracer, auto_reorder=auto_reorder)
+        fsm = SymbolicFsm(model, tracer=stats.tracer, auto_reorder=auto_reorder,
+                          order=order)
         fsm.build_transition(method=case["build_method"])
         reach = fsm.reachable(partitioned=case["partitioned"])
         sym_reached = decode_states(fsm, reach.reached, latch_names)
@@ -393,7 +404,8 @@ def run_case(
     with stats.phase("fuzz.lc"):
         automaton = automaton_from_desc(case["automaton"])
         lc_fsm = SymbolicFsm(
-            model, tracer=stats.tracer, auto_reorder=auto_reorder
+            model, tracer=stats.tracer, auto_reorder=auto_reorder,
+            order=order,
         )
         lc_spec = fairness_spec_from_descs(lc_fsm, case["fairness"])
         lc = check_containment(
@@ -435,9 +447,12 @@ def _safe_run_case(
     seed: int,
     stats: EngineStats,
     auto_reorder: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> List[Divergence]:
     try:
-        return run_case(case, seed, stats, auto_reorder=auto_reorder)
+        return run_case(
+            case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio
+        )
     except Exception:
         tail = traceback.format_exc().strip().splitlines()[-1]
         return [Divergence("crash", seed, tail)]
@@ -462,6 +477,7 @@ def run_trial(
     max_space: int = ORACLE_MAX_SPACE,
     keep_case: bool = False,
     auto_reorder: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> TrialReport:
     """One full differential trial from one seed."""
     stats = stats if stats is not None else EngineStats()
@@ -474,7 +490,9 @@ def run_trial(
     with stats.phase("fuzz.gen"):
         case = gen_case(_case_rng(seed), max_space=max_space)
     divergences.extend(
-        _safe_run_case(case, seed, stats, auto_reorder=auto_reorder)
+        _safe_run_case(
+            case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio
+        )
     )
     return TrialReport(
         seed=seed,
@@ -489,12 +507,14 @@ def _shrink_and_describe(
     seed: int,
     areas: Set[str],
     auto_reorder: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> dict:
     """Minimize a failing case while any of ``areas`` keeps diverging."""
 
     def still_fails(candidate: dict) -> bool:
         found = _safe_run_case(
-            candidate, seed, EngineStats(), auto_reorder=auto_reorder
+            candidate, seed, EngineStats(), auto_reorder=auto_reorder,
+            portfolio=portfolio,
         )
         return any(d.area in areas for d in found)
 
@@ -554,6 +574,7 @@ def run_sweep(
     max_space: int = ORACLE_MAX_SPACE,
     progress=None,
     auto_reorder: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> SweepReport:
     """Run ``trials`` seeded trials; shrink and record any divergence."""
     stats = stats if stats is not None else EngineStats()
@@ -564,7 +585,7 @@ def run_sweep(
         with stats.tracer.span("fuzz.trial", cat="fuzz", seed=seed) as span:
             report = run_trial(
                 seed, stats=stats, max_space=max_space, keep_case=True,
-                auto_reorder=auto_reorder,
+                auto_reorder=auto_reorder, portfolio=portfolio,
             )
             span.add(divergences=len(report.divergences))
         sweep.reports.append(report)
@@ -577,7 +598,7 @@ def run_sweep(
                 with stats.phase("fuzz.shrink"):
                     case = _shrink_and_describe(
                         case, seed, areas - {"bddops"},
-                        auto_reorder=auto_reorder,
+                        auto_reorder=auto_reorder, portfolio=portfolio,
                     )
             path = write_corpus_entry(
                 corpus_dir, seed, areas, case,

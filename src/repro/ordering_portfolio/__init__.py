@@ -1,0 +1,58 @@
+"""Ordering portfolio: race candidate variable orders, remember winners.
+
+Variable order is the dominant performance factor of a BDD-based model
+checker (paper footnote 1; Aziz-Tasiran-Brayton DAC'94), yet no single
+static heuristic wins on every design.  Following the portfolio idea of
+Grumberg-Livne-Markovitch ("Learning to Order BDD Variables in
+Verification"), this package
+
+* extracts structural features of the flat network — fanin cones, latch
+  adjacency, the latch communication graph (:mod:`.features`),
+* derives K candidate orders from them (:mod:`.heuristics`),
+* races the candidates as single-worker pool tasks on the same check
+  job and cancels the losers when the first finishes (:mod:`.race`),
+* persists the winning order per design hash in ``.hsis-orders/`` with
+  the same atomic-write / integrity-digest / tamper-heal discipline as
+  the serve result cache (:mod:`.cache`), so repeat traffic skips the
+  race entirely.
+
+Verdicts are order-independent; the race only changes wall-clock time.
+"""
+
+from repro.ordering_portfolio.cache import (
+    DEFAULT_ORDERS_DIR,
+    OrderCache,
+    order_digest,
+)
+from repro.ordering_portfolio.features import (
+    communication_graph,
+    design_digest,
+    fanin_map,
+    latch_supports,
+)
+from repro.ordering_portfolio.heuristics import (
+    HEURISTICS,
+    candidate_orders,
+    order_for,
+)
+from repro.ordering_portfolio.race import (
+    PortfolioCancelled,
+    portfolio_order_for,
+    run_portfolio_check,
+)
+
+__all__ = [
+    "DEFAULT_ORDERS_DIR",
+    "HEURISTICS",
+    "OrderCache",
+    "PortfolioCancelled",
+    "candidate_orders",
+    "communication_graph",
+    "design_digest",
+    "fanin_map",
+    "latch_supports",
+    "order_digest",
+    "order_for",
+    "portfolio_order_for",
+    "run_portfolio_check",
+]

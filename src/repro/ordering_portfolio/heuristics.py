@@ -1,0 +1,214 @@
+"""K candidate variable orders from network structure.
+
+Every heuristic maps a flat model to a permutation of
+``model.declared_variables()`` (checked; a heuristic that produced an
+invalid order would fall back to the declared order rather than crash a
+race worker).  The portfolio is deliberately diverse:
+
+``seed``
+    The engine's current default — the interacting-FSM affinity order
+    (:func:`repro.network.encode.variable_order`).  Racing it as the
+    control means the portfolio can never lose to the status quo by
+    more than the race overhead.
+``interleave``
+    Static interleave: each latch followed immediately by its next-state
+    wire and the wire's direct combinational fanin.
+``fanin_dfs``
+    Depth-first traversal of the fanin cones from the model outputs and
+    latch next-state wires; variables appear in discovery order, which
+    keeps each cone's variables contiguous.
+``latch_proximity``
+    Aziz-Tasiran-Brayton interacting-FSM order over the latch
+    communication graph (:func:`repro.bdd.ordering.interacting_fsm_order`),
+    with full transitive supports.
+``mincut``
+    Recursive bisection of the latch communication graph: split the
+    latch set minimizing cut weight (greedy improvement passes), recurse
+    into the halves, concatenate; combinational variables attach to the
+    latch whose support uses them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.bdd.ordering import interacting_fsm_order, validate_permutation
+from repro.blifmv.ast import Model
+from repro.network.encode import variable_order
+from repro.ordering_portfolio.features import (
+    communication_graph,
+    direct_combinational_fanin,
+    edge_weight,
+    latch_supports,
+)
+
+#: Heuristic names in portfolio order; ``--portfolio K`` races the
+#: first K.  ``seed`` first, so K=1 degenerates to the status quo.
+HEURISTICS: Tuple[str, ...] = (
+    "seed",
+    "interleave",
+    "fanin_dfs",
+    "latch_proximity",
+    "mincut",
+)
+
+
+def _complete(prefix: Sequence[str], model: Model) -> List[str]:
+    """Extend ``prefix`` to a full permutation of the declared variables.
+
+    Drops names not declared by the model, dedupes, and appends every
+    missing declared variable in declaration order.
+    """
+    declared = model.declared_variables()
+    declared_set = set(declared)
+    order: List[str] = []
+    seen: Set[str] = set()
+    for name in prefix:
+        if name in declared_set and name not in seen:
+            order.append(name)
+            seen.add(name)
+    order.extend(name for name in declared if name not in seen)
+    return order
+
+
+def seed_order(model: Model) -> List[str]:
+    return variable_order(model)
+
+
+def interleave_order(model: Model) -> List[str]:
+    prefix: List[str] = []
+    for latch in model.latches:
+        prefix.append(latch.output)
+        prefix.append(latch.input)
+        prefix.extend(direct_combinational_fanin(model, latch.input))
+    return _complete(prefix, model)
+
+
+def fanin_dfs_order(model: Model) -> List[str]:
+    from repro.ordering_portfolio.features import fanin_map
+
+    fanin = fanin_map(model)
+    state = {latch.output for latch in model.latches}
+    roots = list(model.outputs) + [latch.input for latch in model.latches]
+    prefix: List[str] = []
+    seen: Set[str] = set()
+    for root in roots:
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            prefix.append(name)
+            if name in state and name != root:
+                continue  # cones are cut at state variables
+            # Reversed so the first driver is explored first (DFS).
+            stack.extend(reversed(sorted(fanin.get(name, ()))))
+    return _complete(prefix, model)
+
+
+def latch_proximity_order(model: Model) -> List[str]:
+    supports = latch_supports(model)
+    state = set(supports)
+    nonstate = [
+        name for name in model.declared_variables() if name not in state
+    ]
+    return _complete(interacting_fsm_order(supports, nonstate), model)
+
+
+def _bisect(
+    latches: List[str], weights: Dict[Tuple[str, str], int]
+) -> List[str]:
+    """Recursive min-cut bisection; returns a linear latch arrangement."""
+    if len(latches) <= 2:
+        return list(latches)
+    half = len(latches) // 2
+    left, right = list(latches[:half]), list(latches[half:])
+
+    def cut() -> int:
+        return sum(
+            edge_weight(weights, a, b) for a in left for b in right
+        )
+
+    # Greedy improvement: keep taking the single best swap while it
+    # strictly reduces the cut.  Deterministic (first best swap wins).
+    best = cut()
+    improved = True
+    while improved:
+        improved = False
+        for i, a in enumerate(left):
+            for j, b in enumerate(right):
+                left[i], right[j] = b, a
+                candidate = cut()
+                if candidate < best:
+                    best = candidate
+                    improved = True
+                else:
+                    left[i], right[j] = a, b
+    return _bisect(left, weights) + _bisect(right, weights)
+
+
+def mincut_order(model: Model) -> List[str]:
+    weights = communication_graph(model)
+    latch_order = _bisect([l.output for l in model.latches], weights)
+    supports = latch_supports(model)
+    state = set(supports)
+    # Attach every combinational/input variable after the latch whose
+    # support mentions it (first latch in the arrangement wins).
+    prefix: List[str] = []
+    placed: Set[str] = set()
+    for latch in latch_order:
+        prefix.append(latch)
+        placed.add(latch)
+        for name in sorted(supports[latch]):
+            if name not in state and name not in placed:
+                prefix.append(name)
+                placed.add(name)
+    return _complete(prefix, model)
+
+
+_ORDER_FN = {
+    "seed": seed_order,
+    "interleave": interleave_order,
+    "fanin_dfs": fanin_dfs_order,
+    "latch_proximity": latch_proximity_order,
+    "mincut": mincut_order,
+}
+
+
+def order_for(model: Model, heuristic: str) -> List[str]:
+    """The named heuristic's order, guaranteed a valid permutation."""
+    try:
+        fn = _ORDER_FN[heuristic]
+    except KeyError:
+        raise ValueError(
+            f"unknown ordering heuristic {heuristic!r}; "
+            f"known: {', '.join(HEURISTICS)}"
+        ) from None
+    order = fn(model)
+    if validate_permutation(order, model.declared_variables()) is not None:
+        return list(model.declared_variables())  # defensive fallback
+    return order
+
+
+def candidate_orders(
+    model: Model, k: int
+) -> List[Tuple[str, List[str]]]:
+    """The first ``k`` heuristics' (name, order) pairs, deduplicated.
+
+    ``k`` is clamped to the portfolio size.  A heuristic whose order
+    coincides with an earlier candidate is dropped — racing the same
+    order twice only burns a worker — so fewer than ``k`` candidates can
+    come back (always at least one).
+    """
+    k = max(1, min(int(k), len(HEURISTICS)))
+    out: List[Tuple[str, List[str]]] = []
+    seen: Set[Tuple[str, ...]] = set()
+    for name in HEURISTICS[:k]:
+        order = order_for(model, name)
+        key = tuple(order)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((name, order))
+    return out

@@ -1,0 +1,256 @@
+"""Race K candidate orders on one check job; first finisher wins.
+
+Each candidate order becomes a single task in a ``WorkerPool`` with one
+worker slot per candidate: every worker runs the *same* properties on
+the *same* model, differing only in the variable order installed at
+encode time.  The pool's ``progress`` callback fires on the first
+successful envelope and calls :meth:`WorkerPool.cancel`, which reaps
+every still-running loser (SIGTERM, then SIGKILL) — losers leak no
+processes, and their envelopes come back ``cancelled``.
+
+Verdicts are order-independent, so the winner's verdicts *are* the
+serial verdicts (asserted by the parity tests); the race only buys
+wall-clock time.  The winning order is persisted per design digest in
+the :class:`~repro.ordering_portfolio.cache.OrderCache`, so the next
+check of the same design skips the race entirely.
+
+Race workers are plain pool workers (daemonic processes); the race must
+therefore be driven from a process that may spawn children — the CLI
+process or the serve server thread, never from inside another pool
+worker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.blifmv.ast import Model
+from repro.ordering_portfolio.cache import DEFAULT_ORDERS_DIR, OrderCache
+from repro.ordering_portfolio.features import design_digest
+from repro.ordering_portfolio.heuristics import candidate_orders
+from repro.parallel.check import PropertyVerdict, check_properties
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import STATUS_OK, ResultEnvelope, Task, TaskResult
+from repro.perf import EngineStats
+
+
+class PortfolioCancelled(Exception):
+    """The race was cancelled from outside before any candidate won.
+
+    Internal cancellation (the winner cancelling the losers) never
+    raises this — only an external :meth:`WorkerPool.cancel`, e.g. the
+    job server killing a running job, with no winner recorded yet.
+    """
+
+
+def portfolio_order_for(
+    model: Model, k: int, seed: int
+) -> Tuple[str, List[str]]:
+    """Deterministic round-robin pick from the first ``k`` heuristics.
+
+    The differential fuzzer uses this instead of racing: fuzz trials are
+    tiny (a race would cost more than it saves) but sweeping the seed
+    across heuristics exercises every candidate order against the
+    explicit-state oracle.  Pure function of (model, k, seed), so the
+    parallel sweep stays bit-identical to the serial one.
+    """
+    candidates = candidate_orders(model, k)
+    name, order = candidates[seed % len(candidates)]
+    return name, order
+
+
+def _race_worker(model, properties, fairness_decls, order) -> TaskResult:
+    """Pool task body: the whole property list under one candidate order.
+
+    Raises when any property errors, so a candidate that cannot finish
+    cleanly loses the race instead of publishing partial verdicts.
+    """
+    stats = EngineStats()
+    verdicts = check_properties(
+        model, list(properties), fairness_decls, jobs=1, stats=stats,
+        order=list(order),
+    )
+    for verdict in verdicts:
+        if not verdict.ok:
+            raise RuntimeError(
+                f"property {verdict.name} failed under candidate order: "
+                f"{verdict.error or verdict.status}"
+            )
+    payload = [
+        {
+            "name": v.name,
+            "formula": v.formula,
+            "holds": v.holds,
+            "seconds": v.seconds,
+        }
+        for v in verdicts
+    ]
+    return TaskResult({"verdicts": payload}, stats)
+
+
+def _verdicts_from_payload(payload: List[Dict]) -> List[PropertyVerdict]:
+    return [
+        PropertyVerdict(
+            name=entry["name"],
+            formula=entry["formula"],
+            holds=entry["holds"],
+            seconds=entry["seconds"],
+            status=STATUS_OK,
+        )
+        for entry in payload
+    ]
+
+
+def run_portfolio_check(
+    model: Model,
+    properties: Sequence[Tuple[str, object]],
+    fairness_decls=(),
+    k: int = 4,
+    orders_dir: str = DEFAULT_ORDERS_DIR,
+    cache: Optional[OrderCache] = None,
+    stats: Optional[EngineStats] = None,
+    timeout: Optional[float] = None,
+    on_pool: Optional[Callable[[WorkerPool], None]] = None,
+) -> Tuple[List[PropertyVerdict], Dict[str, object]]:
+    """Check ``properties`` with a portfolio of ``k`` candidate orders.
+
+    Warm path: the order cache holds a verified winner for this design
+    digest — run serially in-process under that order, no race.  Cold
+    path: race the candidates, cancel losers on the first success,
+    persist the winner.  Either way the verdicts are exactly the serial
+    ones.  Returns ``(verdicts, provenance)`` where provenance records
+    the source (``cache`` / ``race`` / ``fallback``), winning heuristic,
+    candidate count and race margin; the same facts land in ``stats``
+    counters/meta and as tracer instants.
+
+    ``on_pool`` (if given) receives the race's :class:`WorkerPool`
+    before it runs, so a caller (the job server) can cancel the whole
+    race from another thread.
+    """
+    stats = stats if stats is not None else EngineStats()
+    cache = cache if cache is not None else OrderCache(orders_dir)
+    properties = list(properties)
+    digest = design_digest(model)
+    declared = model.declared_variables()
+
+    entry = cache.load(digest, declared)
+    if entry is not None:
+        stats.bump("portfolio_cache_hits")
+        stats.meta["portfolio_source"] = "cache"
+        stats.meta["portfolio_heuristic"] = entry["heuristic"]
+        stats.tracer.instant(
+            "portfolio.cache_hit", cat="portfolio",
+            design=digest[:12], heuristic=entry["heuristic"],
+        )
+        verdicts = check_properties(
+            model, properties, fairness_decls, jobs=1, stats=stats,
+            order=entry["order"],
+        )
+        provenance = {
+            "source": "cache",
+            "heuristic": entry["heuristic"],
+            "cache_hit": True,
+            "candidates": 0,
+            "margin_seconds": None,
+        }
+        return verdicts, provenance
+
+    stats.bump("portfolio_cache_misses")
+    candidates = candidate_orders(model, k)
+    stats.tracer.instant(
+        "portfolio.race", cat="portfolio",
+        design=digest[:12], candidates=len(candidates),
+        heuristics=[name for name, _ in candidates],
+    )
+    tasks = [
+        Task(
+            task_id=f"order[{name}]",
+            fn=_race_worker,
+            args=(model, tuple(properties), tuple(fairness_decls), order),
+            timeout=timeout,
+        )
+        for name, order in candidates
+    ]
+    pool = WorkerPool(
+        jobs=len(tasks), timeout=timeout, retries=0,
+        tracer=stats.tracer,
+    )
+    if on_pool is not None:
+        on_pool(pool)
+    winner_ids: List[str] = []
+
+    def first_success(envelope: ResultEnvelope) -> None:
+        if envelope.status == STATUS_OK and not winner_ids:
+            winner_ids.append(envelope.task_id)
+            pool.cancel()
+
+    envelopes = pool.run(tasks, progress=first_success)
+    stats.bump("portfolio_races")
+
+    winner_index: Optional[int] = None
+    if winner_ids:
+        for index, task in enumerate(tasks):
+            if task.task_id == winner_ids[0]:
+                winner_index = index
+                break
+
+    if winner_index is None and pool.cancelled:
+        # No winner *and* a cancelled pool means someone outside killed
+        # the race (we only cancel after recording a winner): abort
+        # instead of burning the caller's thread on a serial fallback.
+        raise PortfolioCancelled("portfolio race cancelled")
+
+    if winner_index is None:
+        # Every candidate errored / timed out: fall back to a plain
+        # serial check under the seed order so a broken race can never
+        # change availability, only speed.
+        stats.bump("portfolio_race_failures")
+        stats.meta["portfolio_source"] = "fallback"
+        stats.meta["portfolio_heuristic"] = candidates[0][0]
+        stats.tracer.instant(
+            "portfolio.fallback", cat="portfolio", design=digest[:12],
+        )
+        verdicts = check_properties(
+            model, properties, fairness_decls, jobs=1, stats=stats,
+            order=candidates[0][1],
+        )
+        provenance = {
+            "source": "fallback",
+            "heuristic": candidates[0][0],
+            "cache_hit": False,
+            "candidates": len(candidates),
+            "margin_seconds": None,
+        }
+        return verdicts, provenance
+
+    winner_name, winner_order = candidates[winner_index]
+    winner = envelopes[winner_index]
+    if stats is not None and winner.stats is not None:
+        stats.merge(winner.stats)
+    loser_seconds = [
+        e.seconds
+        for i, e in enumerate(envelopes)
+        if i != winner_index and e.seconds > 0.0
+    ]
+    margin = (
+        max(0.0, min(loser_seconds) - winner.seconds)
+        if loser_seconds
+        else 0.0
+    )
+    cache.store(digest, winner_name, winner_order, margin_seconds=margin)
+    stats.meta["portfolio_source"] = "race"
+    stats.meta["portfolio_heuristic"] = winner_name
+    stats.tracer.instant(
+        "portfolio.winner", cat="portfolio",
+        design=digest[:12], heuristic=winner_name,
+        margin_seconds=round(margin, 6), candidates=len(candidates),
+    )
+    verdicts = _verdicts_from_payload(winner.value["verdicts"])
+    provenance = {
+        "source": "race",
+        "heuristic": winner_name,
+        "cache_hit": False,
+        "candidates": len(candidates),
+        "margin_seconds": margin,
+    }
+    return verdicts, provenance

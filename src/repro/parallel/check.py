@@ -60,11 +60,17 @@ class PropertyVerdict:
 
 
 def _check_property_worker(model, name: str, formula: Formula,
-                           fairness_decls, trace: bool = False) -> TaskResult:
-    """Worker body: one machine, one fairness binding, one property."""
+                           fairness_decls, trace: bool = False,
+                           order=None) -> TaskResult:
+    """Worker body: one machine, one fairness binding, one property.
+
+    ``order`` optionally forces an explicit variable order (a cached
+    portfolio winner, or a race candidate); verdicts are order-independent.
+    """
     from repro.pif.parser import PifFile
 
-    fsm = SymbolicFsm(model, tracer=Tracer() if trace else None)
+    fsm = SymbolicFsm(model, tracer=Tracer() if trace else None,
+                      order=list(order) if order is not None else None)
     fairness = None
     if fairness_decls:
         fairness = PifFile(fairness=list(fairness_decls)).bind_fairness(fsm)
@@ -109,11 +115,14 @@ def check_properties(
     timeout: Optional[float] = None,
     retries: int = 1,
     pool: Optional[WorkerPool] = None,
+    order=None,
 ) -> List[PropertyVerdict]:
     """Check every ``(name, formula)`` pair; results in property order.
 
     With ``jobs <= 1`` (or a single property) everything runs in this
-    process; otherwise each property becomes a pool task.
+    process; otherwise each property becomes a pool task.  ``order``
+    forces an explicit variable order on every machine built (used by
+    the ordering portfolio's warm order-cache path).
     """
     properties = list(properties)
     trace = stats is not None and stats.tracer.enabled
@@ -122,7 +131,7 @@ def check_properties(
         for name, formula in properties:
             try:
                 result = _check_property_worker(
-                    model, name, formula, fairness_decls, trace
+                    model, name, formula, fairness_decls, trace, order
                 )
             except Exception as exc:
                 verdicts.append(
@@ -148,7 +157,8 @@ def check_properties(
         Task(
             task_id=f"mc[{name}]",
             fn=_check_property_worker,
-            args=(model, name, formula, tuple(fairness_decls), trace),
+            args=(model, name, formula, tuple(fairness_decls), trace,
+                  list(order) if order is not None else None),
             timeout=timeout,
         )
         for name, formula in properties

@@ -44,6 +44,7 @@ def _sweep_chunk_worker(
     max_space: int,
     trace: bool = False,
     auto_reorder: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> TaskResult:
     """Worker body: one contiguous sub-sweep, exactly the serial code.
 
@@ -62,6 +63,7 @@ def _sweep_chunk_worker(
         shrink=shrink,
         max_space=max_space,
         auto_reorder=auto_reorder,
+        portfolio=portfolio,
     )
     for trial in report.reports:
         trial.case = None  # cases are large and the parent never reads them
@@ -81,6 +83,7 @@ def run_sweep_parallel(
     retries: int = 1,
     pool: Optional[WorkerPool] = None,
     auto_reorder: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> SweepReport:
     """Fan a seeded sweep across ``jobs`` workers; merge in seed order.
 
@@ -99,7 +102,7 @@ def run_sweep_parallel(
             task_id=f"fuzz[{chunk_seed0}+{chunk_count}]",
             fn=_sweep_chunk_worker,
             args=(chunk_count, chunk_seed0, corpus_dir, shrink, max_space,
-                  trace, auto_reorder),
+                  trace, auto_reorder, portfolio),
             timeout=timeout,
         )
         for chunk_seed0, chunk_count in chunks

@@ -15,6 +15,12 @@ digest over its result payload; :meth:`ResultCache.load` re-derives it
 and treats any mismatch (bit rot, manual truncation, a concurrent
 writer from an older version) as a miss — the server recomputes and
 rewrites the entry, again atomically.
+
+With ``max_bytes`` set the cache is size-capped: every store sweeps
+the directory and evicts least-recently-used entries (mtime order — a
+cache hit touches its entry) until the total fits, never evicting the
+entry just written.  Evictions are counted and surfaced in
+:meth:`ResultCache.snapshot` (and thence ``hsis client status``).
 """
 
 from __future__ import annotations
@@ -63,13 +69,19 @@ def result_digest(result: Any) -> str:
 class ResultCache:
     """Persistent, integrity-checked map from cache key to job result."""
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = root
+        self.max_bytes = max_bytes
         os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        self.evictions = 0
 
     def path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -102,6 +114,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh recency for LRU eviction
+        except OSError:
+            pass
         return entry
 
     def store(
@@ -125,7 +141,46 @@ class ResultCache:
             },
         )
         self.stores += 1
+        self._evict(keep=path)
         return path
+
+    def _evict(self, keep: str) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        ``keep`` (the entry just written) is never evicted, so a cap
+        smaller than one entry still leaves the latest result cached.
+        Concurrently removed files are skipped, never fatal.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            total += status.st_size
+            entries.append((status.st_mtime, path, status.st_size))
+        entries.sort()
+        for _, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if os.path.abspath(path) == os.path.abspath(keep):
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
 
     def entry_count(self) -> int:
         try:
@@ -142,4 +197,5 @@ class ResultCache:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "stores": self.stores,
+            "evictions": self.evictions,
         }

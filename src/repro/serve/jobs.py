@@ -90,6 +90,67 @@ def run_check_job(
     )
 
 
+def run_portfolio_job(
+    design_kind: str,
+    design_text: str,
+    pif_text: Optional[str],
+    knobs: Dict[str, Any],
+    trace: bool = False,
+    orders_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    on_pool=None,
+) -> TaskResult:
+    """A check job run as an ordering-portfolio race.
+
+    Unlike the other job bodies this does NOT run inside a pool worker:
+    pool workers are daemonic processes and may not spawn children, but
+    the race *is* a pool of K candidate workers.  The server calls this
+    directly on its job-runner thread (``HsisServer._execute``), passing
+    ``on_pool`` so the race's pool is registered for job cancellation.
+    The race workers give the job the same crash isolation a plain
+    check job gets from its single worker.
+    """
+    from repro.ordering_portfolio import DEFAULT_ORDERS_DIR, run_portfolio_check
+    from repro.pif import parse_pif
+
+    flat = _parse_design(design_kind, design_text)
+    pif = parse_pif(pif_text or "", source="<submission>")
+    if not pif.ctl_props:
+        raise ValueError("no CTL properties in the submitted PIF text")
+    stats = EngineStats()
+    if trace:
+        stats.tracer = Tracer()
+    verdicts, provenance = run_portfolio_check(
+        flat,
+        pif.ctl_props,
+        pif.fairness,
+        k=knobs["portfolio"],
+        orders_dir=orders_dir or DEFAULT_ORDERS_DIR,
+        stats=stats,
+        timeout=timeout,
+        on_pool=on_pool,
+    )
+    payload = [
+        {
+            "name": v.name,
+            "formula": v.formula,
+            "holds": v.holds,
+            "seconds": v.seconds,
+        }
+        for v in verdicts
+    ]
+    stats.bump("serve.properties", len(payload))
+    return TaskResult(
+        {
+            "verdicts": payload,
+            "properties": len(payload),
+            "passed": sum(1 for v in payload if v["holds"]),
+            "portfolio": provenance,
+        },
+        _detach(stats),
+    )
+
+
 def run_fuzz_job(knobs: Dict[str, Any], trace: bool = False) -> TaskResult:
     """One differential sweep (serial; the job itself is the shard)."""
     from repro.oracle import run_sweep

@@ -63,7 +63,8 @@ KINDS = ("check", "fuzz", "profile")
 #: and ``{"trials": 25, "seed": 0}`` hash to the same cache key, while
 #: any knob that changes the computation changes the key.
 KNOB_DEFAULTS: Dict[str, Dict[str, Any]] = {
-    "check": {"auto_gc": None, "cache_limit": None, "auto_reorder": None},
+    "check": {"auto_gc": None, "cache_limit": None, "auto_reorder": None,
+              "portfolio": None},
     "fuzz": {"trials": 25, "seed": 0, "auto_reorder": None},
     "profile": {"method": "greedy", "partitioned": False,
                 "auto_reorder": None},

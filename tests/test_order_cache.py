@@ -1,0 +1,191 @@
+"""On-disk integrity coverage for the ``.hsis-orders`` order cache.
+
+Mirrors ``test_serve_cache.py``: an entry is trusted only if its
+``design_sha`` matches, its ``order_sha`` digest re-derives from the
+stored order, and — unlike the result cache — the order is an exact
+permutation of the live model's declared variables.  Anything less
+(truncation, bit rot, a hand-edited order, an order raced on a
+different design) must be detected, counted as corrupt, treated as a
+miss, re-raced, and atomically rewritten.  A corrupt order cache can
+therefore cost a race but never change a verdict.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.blifmv import flatten, parse as parse_blifmv
+from repro.ordering_portfolio import (
+    OrderCache,
+    design_digest,
+    order_digest,
+    run_portfolio_check,
+)
+from repro.perf import EngineStats
+from repro.pif import parse_pif
+
+BLIFMV = """
+.model counter
+.mv s,n 3
+.table s -> n
+0 1
+1 2
+2 0
+.latch n s
+.reset s
+0
+.end
+"""
+
+PIF = """
+ctl can_reach_two :: EF s=2
+ctl never_stuck :: AG EX TRUE
+ctl bogus :: AG s=0
+"""
+
+
+@pytest.fixture(scope="module")
+def flat():
+    return flatten(parse_blifmv(BLIFMV))
+
+
+@pytest.fixture(scope="module")
+def pif():
+    return parse_pif(PIF)
+
+
+def names_of(flat):
+    return flat.declared_variables()
+
+
+def holds(verdicts):
+    return [(v.name, v.holds) for v in verdicts]
+
+
+class TestLoadValidation:
+    def test_roundtrip_and_counts(self, tmp_path, flat):
+        cache = OrderCache(str(tmp_path / "orders"))
+        sha = design_digest(flat)
+        names = names_of(flat)
+        assert cache.load(sha, names) is None  # absent: miss, not corrupt
+        cache.store(sha, "seed", list(names), margin_seconds=0.25)
+        entry = cache.load(sha, names)
+        assert entry["heuristic"] == "seed"
+        assert entry["order"] == list(names)
+        assert entry["margin_seconds"] == 0.25
+        assert cache.snapshot() == {
+            "entries": 1, "hits": 1, "misses": 1, "corrupt": 0, "stores": 1,
+        }
+
+    def test_tampered_order_is_corrupt(self, tmp_path, flat):
+        """A reordered entry whose digest was not refreshed is rejected."""
+        cache = OrderCache(str(tmp_path / "orders"))
+        sha = design_digest(flat)
+        names = list(names_of(flat))
+        cache.store(sha, "seed", names)
+        with open(cache.path(sha)) as handle:
+            entry = json.load(handle)
+        entry["order"] = list(reversed(entry["order"]))  # keep the sha
+        with open(cache.path(sha), "w") as handle:
+            json.dump(entry, handle)
+        assert cache.load(sha, names) is None
+        assert cache.corrupt == 1
+
+    def test_nonpermutation_with_valid_digest_is_corrupt(
+        self, tmp_path, flat
+    ):
+        """Even a digest-consistent entry is rejected when its order does
+        not cover this design's variables — orders are only meaningful
+        for the design they were raced on."""
+        cache = OrderCache(str(tmp_path / "orders"))
+        sha = design_digest(flat)
+        names = list(names_of(flat))
+        bogus = names[:-1]  # drop a variable, then store consistently
+        cache.store(sha, "seed", bogus)
+        with open(cache.path(sha)) as handle:
+            entry = json.load(handle)
+        assert entry["order_sha"] == order_digest(entry["order"])
+        assert cache.load(sha, names) is None
+        assert cache.corrupt == 1
+
+    def test_wrong_design_sha_is_corrupt(self, tmp_path, flat):
+        cache = OrderCache(str(tmp_path / "orders"))
+        sha = design_digest(flat)
+        names = list(names_of(flat))
+        cache.store(sha, "seed", names)
+        entry_path = cache.path(sha)
+        other = "f" * 64
+        os.rename(entry_path, cache.path(other))
+        assert cache.load(other, names) is None
+        assert cache.corrupt == 1
+
+    def test_truncated_entry_is_corrupt(self, tmp_path, flat):
+        cache = OrderCache(str(tmp_path / "orders"))
+        sha = design_digest(flat)
+        names = list(names_of(flat))
+        cache.store(sha, "seed", names)
+        path = cache.path(sha)
+        with open(path, "r+") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        assert cache.load(sha, names) is None
+        assert cache.corrupt == 1
+
+    def test_garbage_entry_is_corrupt(self, tmp_path, flat):
+        cache = OrderCache(str(tmp_path / "orders"))
+        sha = design_digest(flat)
+        with open(cache.path(sha), "w") as handle:
+            handle.write("{ garbage")
+        assert cache.load(sha, names_of(flat)) is None
+        assert cache.corrupt == 1
+
+
+class TestEndToEndHeal:
+    def test_corrupt_entry_is_rerraced_healed_and_verdicts_unchanged(
+        self, tmp_path, flat, pif
+    ):
+        orders_dir = str(tmp_path / "orders")
+        cache = OrderCache(orders_dir)
+        cold, prov_cold = run_portfolio_check(
+            flat, pif.ctl_props, pif.fairness, k=2, cache=cache,
+        )
+        assert prov_cold["source"] == "race"
+        assert cache.stores == 1
+
+        sha = design_digest(flat)
+        path = cache.path(sha)
+        with open(path) as handle:
+            entry = json.load(handle)
+        entry["order"] = list(reversed(entry["order"]))  # keep the sha
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+
+        healer = OrderCache(orders_dir)
+        stats = EngineStats()
+        again, prov_again = run_portfolio_check(
+            flat, pif.ctl_props, pif.fairness, k=2, cache=healer,
+            stats=stats,
+        )
+        assert prov_again["source"] == "race", "corrupt entry was trusted"
+        assert holds(again) == holds(cold) == [
+            ("can_reach_two", True),
+            ("never_stuck", True),
+            ("bogus", False),
+        ]
+        assert healer.corrupt == 1
+        assert stats.counters["portfolio_cache_misses"] == 1
+
+        # The re-race healed the entry atomically: one file, verified
+        # digest, no temp droppings beside it.
+        assert sorted(os.listdir(orders_dir)) == [os.path.basename(path)]
+        with open(path) as handle:
+            healed = json.load(handle)
+        assert healed["order_sha"] == order_digest(healed["order"])
+
+        warm = OrderCache(orders_dir)
+        final, prov_final = run_portfolio_check(
+            flat, pif.ctl_props, pif.fairness, k=2, cache=warm,
+        )
+        assert prov_final["source"] == "cache"
+        assert warm.corrupt == 0 and warm.hits == 1
+        assert holds(final) == holds(cold)

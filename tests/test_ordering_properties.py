@@ -1,0 +1,135 @@
+"""Verdicts are a function of the design, never of the variable order.
+
+The whole ordering portfolio rests on one invariant: feeding *any*
+permutation of the declared variables to the encoder changes only how
+big the BDDs get, never what they denote.  These property tests pin
+that down — seeded random permutations and every portfolio heuristic
+must reproduce the default order's CTL verdicts and reachable
+state count (the sat-count of the reached set) on gallery designs —
+and pin the guard rails: a non-permutation is rejected loudly at
+encode time, and every heuristic emits a valid permutation.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd.ordering import validate_permutation
+from repro.blifmv import BlifMvError
+from repro.ctl import ModelChecker
+from repro.models import get_spec
+from repro.network import SymbolicFsm, variable_order
+from repro.ordering_portfolio import HEURISTICS, candidate_orders, order_for
+
+PERMUTATION_SEEDS = (0, 1, 7, 23, 1994)
+
+
+def shuffled(names, seed):
+    order = list(names)
+    random.Random(seed).shuffle(order)
+    return order
+
+
+def verdicts_and_count(flat, pif, order=None):
+    """(CTL verdicts, reachable sat-count) under the given order."""
+    fsm = SymbolicFsm(flat, order=order)
+    checker = ModelChecker(fsm, fairness=pif.bind_fairness(fsm))
+    verdicts = [
+        (name, checker.check(formula).holds)
+        for name, formula in pif.ctl_props
+    ]
+    count = fsm.count_states(fsm.reachable().reached)
+    return verdicts, count
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    spec = get_spec("traffic")
+    flat = spec.flat()
+    return flat, spec.pif, verdicts_and_count(flat, spec.pif)
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("seed", PERMUTATION_SEEDS)
+    def test_random_permutation_preserves_verdicts_and_count(
+        self, traffic, seed
+    ):
+        flat, pif, (base_verdicts, base_count) = traffic
+        order = shuffled(flat.declared_variables(), seed)
+        verdicts, count = verdicts_and_count(flat, pif, order=order)
+        assert verdicts == base_verdicts
+        assert count == base_count
+
+    def test_explicit_order_is_installed_verbatim(self, traffic):
+        """The mv variables come out in exactly the requested order
+        (latch next-state shadows interleave right after their latch)."""
+        flat, _, _ = traffic
+        order = shuffled(flat.declared_variables(), 42)
+        fsm = SymbolicFsm(flat, order=order)
+        declared = [
+            v.name for v in fsm.mdd.variables
+            if not v.name.endswith("#n")
+        ]
+        assert declared == order
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_every_heuristic_preserves_verdicts_and_count(
+        self, traffic, name
+    ):
+        flat, pif, (base_verdicts, base_count) = traffic
+        order = order_for(flat, name)
+        verdicts, count = verdicts_and_count(flat, pif, order=order)
+        assert verdicts == base_verdicts
+        assert count == base_count
+
+
+class TestHeuristicsEmitPermutations:
+    @pytest.mark.parametrize("design", ("traffic", "elevator", "rrarbiter"))
+    def test_all_heuristics_are_valid_permutations(self, design):
+        flat = get_spec(design).flat()
+        declared = flat.declared_variables()
+        for name in HEURISTICS:
+            order = order_for(flat, name)
+            assert validate_permutation(order, declared) is None, (
+                f"{name} emitted an invalid order on {design}"
+            )
+
+    def test_seed_heuristic_is_the_engine_default(self):
+        flat = get_spec("traffic").flat()
+        assert order_for(flat, "seed") == variable_order(flat)
+
+    def test_candidates_are_deduplicated_and_clamped(self):
+        flat = get_spec("traffic").flat()
+        candidates = candidate_orders(flat, 99)
+        names = [name for name, _ in candidates]
+        orders = [tuple(order) for _, order in candidates]
+        assert 1 <= len(candidates) <= len(HEURISTICS)
+        assert names[0] == "seed"
+        assert len(set(orders)) == len(orders), "duplicate order raced"
+        assert candidate_orders(flat, 1) == candidates[:1]
+
+    def test_unknown_heuristic_is_rejected(self):
+        flat = get_spec("traffic").flat()
+        with pytest.raises(ValueError, match="unknown ordering heuristic"):
+            order_for(flat, "nonesuch")
+
+
+class TestBadOrdersRejected:
+    def test_missing_variable_rejected(self, traffic):
+        flat, _, _ = traffic
+        order = list(flat.declared_variables())[:-1]
+        with pytest.raises(BlifMvError, match="order rejected"):
+            SymbolicFsm(flat, order=order)
+
+    def test_duplicate_variable_rejected(self, traffic):
+        flat, _, _ = traffic
+        order = list(flat.declared_variables())
+        order[-1] = order[0]
+        with pytest.raises(BlifMvError, match="duplicate"):
+            SymbolicFsm(flat, order=order)
+
+    def test_undeclared_variable_rejected(self, traffic):
+        flat, _, _ = traffic
+        order = list(flat.declared_variables()) + ["nonesuch"]
+        with pytest.raises(BlifMvError, match="order rejected"):
+            SymbolicFsm(flat, order=order)

@@ -127,7 +127,80 @@ class TestIntegrity:
         assert cache.load(key) is None
         assert cache.snapshot() == {
             "entries": 1, "hits": 1, "misses": 2, "corrupt": 1, "stores": 1,
+            "evictions": 0,
         }
+
+
+class TestEviction:
+    """Size-capped LRU eviction (``--cache-max-mib``): stores sweep the
+    directory down to the cap in mtime order, a load refreshes its
+    entry's recency, and the entry just written is never the victim."""
+
+    PAD = {"pad": "x" * 1000}
+
+    def keys(self):
+        return ["a" * 64, "b" * 64, "c" * 64]
+
+    def fitted_cache(self, tmp_path, entries=2):
+        """A cache whose cap fits exactly ``entries`` padded entries."""
+        probe = ResultCache(str(tmp_path / "probe"))
+        probe.store("p" * 64, "check", self.PAD, 0.0)
+        size = os.path.getsize(probe.path("p" * 64))
+        return ResultCache(
+            str(tmp_path / "cache"), max_bytes=size * entries + size // 2
+        )
+
+    def age(self, cache, key, seconds_ago):
+        """Backdate an entry's mtime (deterministic LRU order, no sleeps)."""
+        import time
+
+        stamp = time.time() - seconds_ago
+        os.utime(cache.path(key), (stamp, stamp))
+
+    def test_store_evicts_oldest_past_the_cap(self, tmp_path):
+        cache = self.fitted_cache(tmp_path, entries=2)
+        ka, kb, kc = self.keys()
+        cache.store(ka, "check", self.PAD, 0.0)
+        self.age(cache, ka, 100)
+        cache.store(kb, "check", self.PAD, 0.0)
+        self.age(cache, kb, 50)
+        cache.store(kc, "check", self.PAD, 0.0)
+        assert cache.load(ka) is None, "oldest entry survived the cap"
+        assert cache.load(kb) is not None
+        assert cache.load(kc) is not None
+        assert cache.evictions == 1
+        assert cache.snapshot()["evictions"] == 1
+        assert cache.snapshot()["entries"] == 2
+
+    def test_load_refreshes_recency(self, tmp_path):
+        cache = self.fitted_cache(tmp_path, entries=2)
+        ka, kb, kc = self.keys()
+        cache.store(ka, "check", self.PAD, 0.0)
+        cache.store(kb, "check", self.PAD, 0.0)
+        self.age(cache, ka, 100)
+        self.age(cache, kb, 50)
+        assert cache.load(ka) is not None  # touch: ka becomes newest
+        cache.store(kc, "check", self.PAD, 0.0)
+        assert cache.load(ka) is not None, "recently-used entry evicted"
+        assert cache.load(kb) is None
+        assert cache.evictions == 1
+
+    def test_just_written_entry_is_never_the_victim(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), max_bytes=1)
+        ka, kb, _ = self.keys()
+        cache.store(ka, "check", self.PAD, 0.0)
+        assert cache.load(ka) is not None, "cap smaller than one entry"
+        cache.store(kb, "check", self.PAD, 0.0)
+        assert cache.load(kb) is not None
+        assert cache.load(ka) is None
+        assert cache.evictions == 1
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        for key in self.keys():
+            cache.store(key, "check", self.PAD, 0.0)
+        assert cache.evictions == 0
+        assert cache.snapshot()["entries"] == 3
 
 
 class TestKeySensitivity:

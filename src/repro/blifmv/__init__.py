@@ -21,7 +21,14 @@ from repro.blifmv.ast import (
 )
 from repro.blifmv.parser import parse, parse_file
 from repro.blifmv.writer import line_count, write, write_file, write_model
-from repro.blifmv.hierarchy import flatten, instance_tree
+from repro.blifmv.hierarchy import (
+    Elaboration,
+    InstanceInfo,
+    elaborate,
+    flatten,
+    instance_tree,
+    shape_signature,
+)
 
 __all__ = [
     "ANY",
@@ -44,4 +51,8 @@ __all__ = [
     "line_count",
     "flatten",
     "instance_tree",
+    "elaborate",
+    "Elaboration",
+    "InstanceInfo",
+    "shape_signature",
 ]

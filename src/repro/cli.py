@@ -26,7 +26,7 @@ import shlex
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.blifmv import flatten, parse_file as parse_blifmv_file, write_file
+from repro.blifmv import elaborate, flatten, parse_file as parse_blifmv_file, write_file
 from repro.ctl import ModelChecker, parse_ctl
 from repro.debug import CtlDebugger, format_lc_report
 from repro.lc import check_containment
@@ -590,6 +590,15 @@ def _fuzz_main(argv: List[str]) -> int:
         ),
     )
     parser.add_argument(
+        "--shared-shapes", action="store_true",
+        help=(
+            "exercise shared-shape elaboration: every trial additionally "
+            "runs a two-instance replica of the generated design through "
+            "both shared-shape and plain-flatten encodes and diffs their "
+            "reachable state sets (see docs/hierarchy.md)"
+        ),
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help=(
             "record a structured event trace (.jsonl, .txt summary, or "
@@ -619,6 +628,7 @@ def _fuzz_main(argv: List[str]) -> int:
             progress=progress,
             auto_reorder=opts.auto_reorder,
             portfolio=opts.portfolio,
+            shared_shapes=opts.shared_shapes,
         )
     else:
         sweep = run_sweep(
@@ -630,6 +640,7 @@ def _fuzz_main(argv: List[str]) -> int:
             progress=progress,
             auto_reorder=opts.auto_reorder,
             portfolio=opts.portfolio,
+            shared_shapes=opts.shared_shapes,
         )
     print(sweep.summary())
     if opts.stats:
@@ -681,6 +692,19 @@ def _check_main(argv: List[str]) -> int:
         help="per-property deadline; overrunning checks report as timeout",
     )
     parser.add_argument(
+        "--shared-shapes", dest="shared_shapes", action="store_true",
+        default=True,
+        help=(
+            "encode each distinct subcircuit shape once and instantiate "
+            "replicas by variable substitution (default; no-op on "
+            "single-instance designs, overridden by --portfolio)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shared-shapes", dest="shared_shapes", action="store_false",
+        help="always encode every instance's tables from scratch",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="print aggregate engine statistics after the run",
     )
@@ -698,7 +722,8 @@ def _check_main(argv: List[str]) -> int:
                 design = compile_verilog(handle.read())
         else:
             design = parse_blifmv_file(opts.design)
-        flat = flatten(design)
+        elab = elaborate(design)
+        flat = elab.flat
         pif = parse_pif_file(opts.pif)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -727,8 +752,10 @@ def _check_main(argv: List[str]) -> int:
             f"{provenance['candidates']} candidate(s))"
         )
     else:
+        # The ordering portfolio extracts features from the flat model;
+        # --portfolio therefore keeps the plain-flatten path above.
         verdicts = check_properties(
-            flat,
+            elab if opts.shared_shapes else flat,
             pif.ctl_props,
             pif.fairness,
             jobs=opts.jobs,
@@ -774,26 +801,31 @@ def _check_main(argv: List[str]) -> int:
     return 0 if passed == len(verdicts) and trace_ok else 1
 
 
-def _load_profile_design(target: str, pif_path: Optional[str]):
+def _load_profile_design(target: str, pif_path: Optional[str],
+                         shared_shapes: bool = False):
     """Resolve a ``profile`` target to ``(name, flat model, pif)``.
 
     ``gallery:NAME`` (or any bare shipped-design name) loads one of the
     built-in benchmarks with its bundled properties; a ``.mv``/``.v``
     path loads a design from disk with an optional ``--pif`` file.
+    With ``shared_shapes`` the model slot holds an
+    :class:`~repro.blifmv.Elaboration` (shared-shape encoding).
     """
     from repro.models import get_spec
 
     name = target[len("gallery:"):] if target.startswith("gallery:") else target
     if not (target.endswith(".mv") or target.endswith(".v")):
         spec = get_spec(name)
-        return spec.name, spec.flat(), spec.pif
+        model = spec.elaborate() if shared_shapes else spec.flat()
+        return spec.name, model, spec.pif
     if target.endswith(".v"):
         with open(target) as handle:
             design = compile_verilog(handle.read())
     else:
         design = parse_blifmv_file(target)
     pif = parse_pif_file(pif_path) if pif_path else None
-    return design.root, flatten(design), pif
+    model = elaborate(design) if shared_shapes else flatten(design)
+    return design.root, model, pif
 
 
 def _profile_main(argv: List[str]) -> int:
@@ -833,12 +865,27 @@ def _profile_main(argv: List[str]) -> int:
         help="arm dynamic variable reordering past N live nodes",
     )
     parser.add_argument(
+        "--shared-shapes", dest="shared_shapes", action="store_true",
+        default=True,
+        help=(
+            "encode each distinct subcircuit shape once and instantiate "
+            "replicas by variable substitution (default; no-op on "
+            "single-instance designs)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shared-shapes", dest="shared_shapes", action="store_false",
+        help="always encode every instance's tables from scratch",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="also write the raw trace (.jsonl / .txt / Chrome JSON)",
     )
     opts = parser.parse_args(argv)
     try:
-        name, flat, pif = _load_profile_design(opts.design, opts.pif)
+        name, flat, pif = _load_profile_design(
+            opts.design, opts.pif, shared_shapes=opts.shared_shapes
+        )
     except (OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -851,6 +898,11 @@ def _profile_main(argv: List[str]) -> int:
         f"profile {name}: {fsm.count_states(reach.reached)} states reached "
         f"in {reach.iterations} iterations ({reach.seconds:.2f}s)"
     )
+    if fsm.network.conjunct_groups is not None:
+        print(
+            f"shapes: {fsm.network.shapes_encoded} encoded, "
+            f"{fsm.network.instances_substituted} instance(s) substituted"
+        )
     if pif is not None and pif.ctl_props and not opts.no_mc:
         checker = ModelChecker(
             fsm, fairness=pif.bind_fairness(fsm), reached=reach.reached
@@ -1018,6 +1070,12 @@ def _client_main(argv: List[str]) -> int:
                        metavar="SECONDS")
         p.add_argument("--stream", action="store_true",
                        help="print per-job tracer events as they stream")
+        p.add_argument("--shared-shapes", dest="shared_shapes",
+                       action="store_true", default=None,
+                       help="force shared-shape encoding on")
+        p.add_argument("--no-shared-shapes", dest="shared_shapes",
+                       action="store_false",
+                       help="force shared-shape encoding off")
     p_check.add_argument("--cache-limit", type=_positive_int, default=None,
                          metavar="N")
     p_check.add_argument("--auto-gc", type=_positive_int, default=None,
@@ -1072,6 +1130,8 @@ def _client_main(argv: List[str]) -> int:
                         knobs["partitioned"] = True
                     if opts.auto_reorder is not None:
                         knobs["auto_reorder"] = opts.auto_reorder
+            if opts.shared_shapes is not None:
+                knobs["shared_shapes"] = opts.shared_shapes
             on_event = None
             if opts.stream:
                 def on_event(line):

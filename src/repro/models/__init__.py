@@ -6,7 +6,7 @@ Each module exports ``verilog(**params)``, ``pif(**params)`` and
 """
 
 
-from repro.models import dcnew, gallery, gigamax, mdlc, philos, pingpong, scheduler
+from repro.models import dcnew, gallery, gigamax, hier, mdlc, philos, pingpong, scheduler
 from repro.models.base import DesignSpec, make_spec
 from repro.models.gallery import GALLERY
 
@@ -17,6 +17,11 @@ _BUILDERS = {
     "scheduler": scheduler.spec,
     "dcnew": dcnew.spec,
     "2mdlc": mdlc.spec,
+    # hierarchical variants: N replicas of one module shape each
+    # (the shared-shape encoder's showcase; see docs/hierarchy.md)
+    "philos_hier": hier.philos_spec,
+    "scheduler_hier": hier.scheduler_spec,
+    "gigamax_hier": hier.gigamax_spec,
 }
 
 TABLE1 = ["philos", "ping pong", "gigamax", "scheduler", "dcnew", "2mdlc"]
@@ -43,6 +48,7 @@ __all__ = [
     "TABLE1",
     "gallery",
     "get_spec",
+    "hier",
     "make_spec",
     "philos",
     "pingpong",

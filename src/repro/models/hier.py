@@ -1,0 +1,279 @@
+"""Hierarchical gallery designs: N replicas of one module each.
+
+The Table-1 generators emit a single flat module per design (the
+paper's §3 laments Verilog's lack of inductive structure).  These
+variants keep the generation loop but move the replicated logic into a
+*module* instantiated N times, so elaboration sees N isomorphic
+subtrees of one shape — exactly the workload the shared-shape encoder
+(docs/hierarchy.md) is built for: the shape is table-encoded once and
+every further instance is produced by variable substitution.
+
+Three designs, echoing the flat gallery's themes:
+
+* ``philos_hier`` — token-ring mutual exclusion: each "philosopher"
+  cell passes the single chopstick token to its right neighbour; a
+  one-shot boot register in the top module injects the token, keeping
+  every cell's reset values identical (resets are part of the shape
+  signature, so per-instance reset asymmetry would defeat sharing).
+* ``scheduler_hier`` — a round-robin dispatcher in the top module
+  grants N identical worker cells one at a time; the turn counter
+  holds while the granted worker is requesting or busy.
+* ``gigamax_hier`` — N identical CPU/cache cells snooping one bus: a
+  nondeterministic selector puts one cell on the bus per cycle, a
+  write takes exclusive ownership and invalidates every snooper.
+
+Every port is binary, so the parent wire domains trivially match the
+child port domains (flatten's domain merge requires equality).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import DesignSpec, make_spec
+
+DEFAULT_PARAMS = {"n": 3}
+
+
+def _mutex_conj(prefix: str, n: int) -> str:
+    """Pairwise at-most-one conjunction over ``prefix0 .. prefix{n-1}``."""
+    return " & ".join(
+        f"!({prefix}{i}=1 & {prefix}{j}=1)"
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+
+
+# -- philos_hier: token-ring mutual exclusion ----------------------------
+
+
+def philos_verilog(n: int = 3) -> str:
+    if n < 2:
+        raise ValueError("need at least two philosophers")
+    lines = [
+        f"// hierarchical dining philosophers (token ring), N={n} (generated)",
+        "module cell(tin, tout, eat, tko);",
+        "  input tin;",
+        "  output tout, eat, tko;",
+        "  enum { idle, want, crit } reg st;",
+        "  reg tok;",
+        "  initial st = idle;",
+        "  initial tok = 0;",
+        "  wire req, fin, pass;",
+        "  assign req = $ND(0, 1);",
+        "  assign fin = $ND(0, 1);",
+        "  assign pass = tok && (st == idle);",
+        "  assign tout = pass;",
+        "  assign eat = (st == crit);",
+        "  assign tko = tok;",
+        "  always @(posedge clk) begin",
+        "    case (st)",
+        "      idle: st <= req ? want : idle;",
+        "      want: st <= tok ? crit : want;",
+        "      crit: st <= fin ? idle : crit;",
+        "    endcase",
+        "    tok <= tin || (tok && !pass);",
+        "  end",
+        "endmodule",
+        "",
+        "module philos_hier;",
+    ]
+    for i in range(n):
+        lines.append(f"  wire t{i}, e{i}, k{i};")
+    lines += [
+        "  reg booted;",
+        "  initial booted = 0;",
+        "  always @(posedge clk) begin",
+        "    booted <= 1;",
+        "  end",
+        "  wire tin0;",
+        f"  assign tin0 = t{n - 1} || !booted;",
+    ]
+    for i in range(n):
+        tin = "tin0" if i == 0 else f"t{i - 1}"
+        lines.append(
+            f"  cell c{i}(.tin({tin}), .tout(t{i}), "
+            f".eat(e{i}), .tko(k{i}));"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def philos_pif(n: int = 3) -> str:
+    mutex = _mutex_conj("e", n)
+    return f"""\
+# --- 2 CTL properties ------------------------------------------------
+ctl neighbors_exclusive :: AG ({mutex})
+ctl eating_holds_token :: AG (e0=1 -> k0=1)
+
+# --- 1 language-containment property ----------------------------------
+automaton lc_exclusive
+  states A B
+  initial A
+  edge A A :: {mutex}
+  edge A B :: !({mutex})
+  edge B B
+  accept invariance A
+end
+"""
+
+
+def philos_spec(n: int = 3) -> DesignSpec:
+    """Token-ring philosophers: N instances of one ``cell`` shape."""
+    return make_spec("philos_hier", philos_verilog(n), philos_pif(n), {"n": n})
+
+
+# -- scheduler_hier: round-robin dispatcher over N workers ---------------
+
+
+def scheduler_verilog(n: int = 3) -> str:
+    if n < 2:
+        raise ValueError("need at least two workers")
+    width = max(1, (n - 1).bit_length())
+    hold = " || ".join(
+        f"(turn == {i} && (r{i} || b{i}))" for i in range(n)
+    )
+    lines = [
+        f"// hierarchical round-robin scheduler, N={n} (generated)",
+        "module worker(grant, busy, req);",
+        "  input grant;",
+        "  output busy, req;",
+        "  enum { idle, pend, run } reg st;",
+        "  initial st = idle;",
+        "  wire wake, done;",
+        "  assign wake = $ND(0, 1);",
+        "  assign done = $ND(0, 1);",
+        "  assign req = (st == pend);",
+        "  assign busy = (st == run);",
+        "  always @(posedge clk) begin",
+        "    case (st)",
+        "      idle: st <= wake ? pend : idle;",
+        "      pend: st <= grant ? run : pend;",
+        "      run:  st <= (grant && !done) ? run : idle;",
+        "    endcase",
+        "  end",
+        "endmodule",
+        "",
+        "module scheduler_hier;",
+    ]
+    for i in range(n):
+        lines.append(f"  wire g{i}, b{i}, r{i};")
+    lines += [
+        f"  reg [{width - 1}:0] turn;",
+        "  initial turn = 0;",
+        "  wire hold;",
+        f"  assign hold = {hold};",
+        "  always @(posedge clk) begin",
+        "    if (hold) turn <= turn;",
+        f"    else turn <= (turn == {n - 1}) ? 0 : (turn + 1);",
+        "  end",
+    ]
+    for i in range(n):
+        lines.append(f"  assign g{i} = (turn == {i});")
+    for i in range(n):
+        lines.append(
+            f"  worker w{i}(.grant(g{i}), .busy(b{i}), .req(r{i}));"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def scheduler_pif(n: int = 3) -> str:
+    mutex = _mutex_conj("b", n)
+    return f"""\
+# --- 2 CTL properties ------------------------------------------------
+ctl one_runs :: AG ({mutex})
+ctl busy_is_granted :: AG (b0=1 -> g0=1)
+
+# --- 1 language-containment property ----------------------------------
+automaton lc_one_runs
+  states A B
+  initial A
+  edge A A :: {mutex}
+  edge A B :: !({mutex})
+  edge B B
+  accept invariance A
+end
+"""
+
+
+def scheduler_spec(n: int = 3) -> DesignSpec:
+    """Round-robin scheduler: N instances of one ``worker`` shape."""
+    return make_spec(
+        "scheduler_hier", scheduler_verilog(n), scheduler_pif(n), {"n": n}
+    )
+
+
+# -- gigamax_hier: snooping cache cells on one bus -----------------------
+
+
+def gigamax_verilog(n: int = 3) -> str:
+    if n < 2:
+        raise ValueError("need at least two CPU cells")
+    width = max(1, (n - 1).bit_length())
+    sel_choices = ", ".join(str(i) for i in range(n))
+    busw = " || ".join(f"m{i}" for i in range(n))
+    lines = [
+        f"// hierarchical gigamax-style snooping caches, N={n} (generated)",
+        "module cpu(act, busw, myw, owned);",
+        "  input act, busw;",
+        "  output myw, owned;",
+        "  enum { inv, shr, own } reg cst;",
+        "  initial cst = inv;",
+        "  wire wr, rd;",
+        "  assign wr = $ND(0, 1);",
+        "  assign rd = $ND(0, 1);",
+        "  assign myw = act && wr;",
+        "  assign owned = (cst == own);",
+        "  always @(posedge clk) begin",
+        "    if (act) begin",
+        "      if (wr) cst <= own;",
+        "      else if (rd && (cst == inv)) cst <= shr;",
+        "      else cst <= cst;",
+        "    end else begin",
+        "      if (busw) cst <= inv;",
+        "      else cst <= cst;",
+        "    end",
+        "  end",
+        "endmodule",
+        "",
+        "module gigamax_hier;",
+        f"  wire [{width - 1}:0] sel;",
+        f"  assign sel = $ND({sel_choices});",
+    ]
+    for i in range(n):
+        lines.append(f"  wire a{i}, m{i}, o{i};")
+    for i in range(n):
+        lines.append(f"  assign a{i} = (sel == {i});")
+    lines.append("  wire busw;")
+    lines.append(f"  assign busw = {busw};")
+    for i in range(n):
+        lines.append(
+            f"  cpu c{i}(.act(a{i}), .busw(busw), .myw(m{i}), .owned(o{i}));"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def gigamax_pif(n: int = 3) -> str:
+    mutex = _mutex_conj("o", n)
+    return f"""\
+# --- 2 CTL properties ------------------------------------------------
+ctl exclusive_owner :: AG ({mutex})
+ctl ownership_reachable :: EF o0=1
+
+# --- 1 language-containment property ----------------------------------
+automaton lc_exclusive_owner
+  states A B
+  initial A
+  edge A A :: {mutex}
+  edge A B :: !({mutex})
+  edge B B
+  accept invariance A
+end
+"""
+
+
+def gigamax_spec(n: int = 3) -> DesignSpec:
+    """Snooping caches: N instances of one ``cpu`` shape on a bus."""
+    return make_spec(
+        "gigamax_hier", gigamax_verilog(n), gigamax_pif(n), {"n": n}
+    )

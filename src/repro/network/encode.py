@@ -22,6 +22,7 @@ from repro.bdd.manager import BDD
 from repro.bdd.mdd import MddManager, MvVar
 from repro.bdd.ordering import affinity_order, validate_permutation
 from repro.blifmv.ast import Any_, BlifMvError, Eq, Model, Table, ValueSet
+from repro.blifmv.hierarchy import Elaboration, InstanceInfo
 from repro.network.quantify import Conjunct
 
 NEXT_SUFFIX = "#n"
@@ -54,6 +55,14 @@ class EncodedNetwork:
     conjuncts: List[Conjunct]
     init: int
     order_method: str = "affinity"
+    # Shared-shape encoding telemetry (set when encoding an Elaboration):
+    # distinct (shape, aliasing) groups whose tables were actually
+    # encoded, instances instantiated by variable substitution instead,
+    # and per-instance conjunct index groups for symmetry-aware
+    # quantification scheduling (None when the design has one instance).
+    shapes_encoded: int = 0
+    instances_substituted: int = 0
+    conjunct_groups: Optional[List[List[int]]] = None
 
     @property
     def bdd(self) -> BDD:
@@ -85,6 +94,8 @@ def encode(
     cache_limit: Optional[int] = None,
     auto_reorder: Optional[int] = None,
     order: Optional[List[str]] = None,
+    elaboration: Optional[Elaboration] = None,
+    stats=None,
 ) -> EncodedNetwork:
     """Encode a flat model (no subcircuits) into an :class:`EncodedNetwork`.
 
@@ -96,9 +107,20 @@ def encode(
     the order still get their present/next bits interleaved.  ``auto_gc``,
     ``cache_limit`` and ``auto_reorder`` configure the kernel's
     self-management knobs (see :class:`repro.bdd.manager.BDD`).
+
+    ``elaboration`` (from :func:`repro.blifmv.elaborate`) switches on
+    shared-shape encoding: table conjuncts are built once per distinct
+    subcircuit shape and every further instance is instantiated by
+    variable substitution over the representative's BDDs (see
+    docs/hierarchy.md).  ``model`` must then be ``elaboration.flat``.
+    ``stats`` is an optional :class:`repro.stats.EngineStats` receiving
+    ``shapes_encoded`` / ``instances_substituted`` counters and tracer
+    instants.
     """
     if model.subckts:
         raise BlifMvError("encode() needs a flat model; call flatten() first")
+    if elaboration is not None and elaboration.flat is not model:
+        raise BlifMvError("encode(): model must be elaboration.flat")
     model.validate()
     if order is not None:
         problem = validate_permutation(order, model.declared_variables())
@@ -107,7 +129,11 @@ def encode(
         order = list(order)
         order_method = "explicit"
     elif order_method == "affinity":
-        order = variable_order(model)
+        if elaboration is not None and len(elaboration.instances) > 1:
+            order = shape_variable_order(elaboration)
+            order_method = "shape"
+        else:
+            order = variable_order(model)
     elif order_method == "declared":
         order = model.declared_variables()
     else:
@@ -138,8 +164,17 @@ def encode(
 
     conjuncts: List[Conjunct] = []
     bdd = mdd.bdd
-    for index, table in enumerate(model.tables):
-        node = encode_table(mdd, variables, model, table)
+    shapes_encoded = 0
+    instances_substituted = 0
+    if elaboration is not None and len(elaboration.instances) > 1:
+        nodes, shapes_encoded, instances_substituted = _encode_tables_shared(
+            mdd, variables, model, elaboration, stats
+        )
+    else:
+        nodes = [encode_table(mdd, variables, model, t) for t in model.tables]
+        if elaboration is not None:
+            shapes_encoded = len(elaboration.instances)
+    for index, (table, node) in enumerate(zip(model.tables, nodes)):
         label = "{}:{}".format(",".join(table.outputs), index)
         conjuncts.append(
             Conjunct(node=node, support=frozenset(bdd.support(node)), label=label)
@@ -150,6 +185,7 @@ def encode(
     # input when selected; otherwise it holds its present value.  When a
     # latch feeds itself (constant latch) the wire *is* the present state.
     update_conditions = _synchrony_conditions(mdd, model, conjuncts)
+    latch_conjunct_index: Dict[str, int] = {}
     for lv in latch_vars.values():
         wire = variables[lv.input_wire]
         if wire.values != lv.y.values:
@@ -164,6 +200,7 @@ def encode(
         else:
             hold = lv.y.eq_var(lv.x)
             node = bdd.ite(condition, move, hold)
+        latch_conjunct_index[lv.name] = len(conjuncts)
         conjuncts.append(
             Conjunct(
                 node=node,
@@ -190,6 +227,28 @@ def encode(
         allowed = lv.reset if lv.reset else lv.x.values
         init = bdd.and_(init, lv.x.literal(allowed))
 
+    conjunct_groups: Optional[List[List[int]]] = None
+    if elaboration is not None and len(elaboration.instances) > 1:
+        conjunct_groups = []
+        for inst in elaboration.instances:
+            group = list(range(inst.tables[0], inst.tables[1]))
+            for latch in model.latches[inst.latches[0]:inst.latches[1]]:
+                index = latch_conjunct_index.get(latch.output)
+                if index is not None:
+                    group.append(index)
+            if group:
+                conjunct_groups.append(group)
+        if stats is not None:
+            stats.bump("shapes_encoded", shapes_encoded)
+            stats.bump("instances_substituted", instances_substituted)
+            stats.tracer.instant(
+                "encode.shared_shapes",
+                cat="encode",
+                instances=len(elaboration.instances),
+                shapes_encoded=shapes_encoded,
+                instances_substituted=instances_substituted,
+            )
+
     return EncodedNetwork(
         model=model,
         mdd=mdd,
@@ -198,7 +257,138 @@ def encode(
         conjuncts=conjuncts,
         init=init,
         order_method=order_method,
+        shapes_encoded=shapes_encoded,
+        instances_substituted=instances_substituted,
+        conjunct_groups=conjunct_groups,
     )
+
+
+def shape_variable_order(elaboration: Elaboration) -> List[str]:
+    """Instance-contiguous affinity order for a shape-aware encode.
+
+    Each shape gets one canonical internal layout (affinity order over
+    the representative's own tables and latches, expressed in canonical
+    positions); every instance then lays out its copy through its own
+    rename map, in hierarchy pre-order.  Instances of one shape thus get
+    identical internal bit layouts, which keeps the per-instance
+    substitution maps order-preserving (the fast :meth:`BDD.rename`
+    path) and clusters each instance's variables for the grouped
+    quantification schedules.
+    """
+    flat = elaboration.flat
+    order: List[str] = []
+    seen: Set[str] = set()
+    layouts: Dict[str, List[int]] = {}
+    for inst in elaboration.instances:
+        layout = layouts.get(inst.shape)
+        if layout is None:
+            pos = {name: i for i, name in enumerate(inst.canon)}
+            local = {flat_name: pos[name] for name, flat_name in inst.rename.items()}
+            groups: List[Set[int]] = []
+            for table in flat.tables[inst.tables[0]:inst.tables[1]]:
+                groups.append({local[v] for v in table.variables if v in local})
+            for latch in flat.latches[inst.latches[0]:inst.latches[1]]:
+                groups.append(
+                    {p for p in (local.get(latch.input), local.get(latch.output))
+                     if p is not None}
+                )
+            layout = affinity_order(groups, list(range(len(inst.canon))))
+            layouts[inst.shape] = layout
+        for position in layout:
+            name = inst.rename[inst.canon[position]]
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+    for name in flat.declared_variables():
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+    return order
+
+
+def _alias_pattern(inst: InstanceInfo) -> Tuple[int, ...]:
+    """Canonical intra-instance aliasing of flat nets.
+
+    Two canonical positions share a flat net when the parent ties two
+    ports to one actual.  A representative whose ports are aliased has
+    already identified the corresponding BDD variables, so it can only
+    stand in for instances aliased the same way — the alias pattern is
+    therefore part of the substitution group key.
+    """
+    first: Dict[str, int] = {}
+    return tuple(
+        first.setdefault(inst.rename[name], i) for i, name in enumerate(inst.canon)
+    )
+
+
+def _encode_tables_shared(
+    mdd: MddManager,
+    variables: Dict[str, MvVar],
+    model: Model,
+    elaboration: Elaboration,
+    stats,
+) -> Tuple[List[int], int, int]:
+    """Encode flat tables once per shape; substitute for other instances.
+
+    Returns ``(nodes, shapes_encoded, instances_substituted)`` where
+    ``nodes[i]`` is the BDD of ``model.tables[i]``.  The first instance
+    of each (shape digest, alias pattern) group is the representative:
+    its tables run through :func:`encode_table`.  Every later instance
+    builds one bit-level substitution map from the canonical-position
+    bijection and instantiates each representative conjunct with
+    :meth:`BDD.rename` (order-preserving fast path under the shape
+    variable order, ``vector_compose`` fallback otherwise).  All
+    conjuncts of one instance share the same map, so the kernel's
+    computed cache acts as the shared per-shape sub-BDD cache.
+    """
+    bdd = mdd.bdd
+    nodes: List[Optional[int]] = [None] * len(model.tables)
+    representatives: Dict[Tuple[str, Tuple[int, ...]], InstanceInfo] = {}
+    shapes_encoded = 0
+    instances_substituted = 0
+    for inst in elaboration.instances:
+        lo, hi = inst.tables
+        key = (inst.shape, _alias_pattern(inst))
+        rep = representatives.get(key)
+        if rep is None:
+            representatives[key] = inst
+            for index in range(lo, hi):
+                nodes[index] = encode_table(mdd, variables, model, model.tables[index])
+            shapes_encoded += 1
+            if stats is not None:
+                stats.tracer.instant(
+                    "hierarchy.shape_encoded",
+                    cat="encode",
+                    model=inst.model,
+                    shape=inst.shape[:12],
+                    tables=hi - lo,
+                )
+            continue
+        mapping: Dict[int, int] = {}
+        for rep_name, inst_name in zip(rep.canon, inst.canon):
+            rep_flat = rep.rename[rep_name]
+            inst_flat = inst.rename[inst_name]
+            if rep_flat == inst_flat:
+                continue
+            rep_var = variables.get(rep_flat)
+            inst_var = variables.get(inst_flat)
+            if rep_var is None or inst_var is None:
+                continue
+            for rep_bit, inst_bit in zip(rep_var.bits, inst_var.bits):
+                mapping[rep_bit] = inst_bit
+        for index, rep_index in zip(range(lo, hi), range(rep.tables[0], rep.tables[1])):
+            nodes[index] = bdd.rename(nodes[rep_index], mapping, strict=False)
+        instances_substituted += 1
+        if stats is not None:
+            stats.tracer.instant(
+                "hierarchy.instance_substituted",
+                cat="encode",
+                instance=inst.path,
+                model=inst.model,
+                shape=inst.shape[:12],
+                tables=hi - lo,
+            )
+    return [n for n in nodes], shapes_encoded, instances_substituted
 
 
 def _synchrony_conditions(

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 from repro.bdd.manager import BDD, BddError
 from repro.bdd.mdd import MddManager, MvVar
 from repro.blifmv.ast import Model
+from repro.blifmv.hierarchy import Elaboration
 from repro.network.encode import NEXT_SUFFIX, EncodedNetwork, LatchVars, encode
 from repro.network.quantify import (
     Conjunct,
@@ -57,7 +58,7 @@ class SymbolicFsm:
 
     def __init__(
         self,
-        model: Model,
+        model: "Model | Elaboration",
         order_method: str = "affinity",
         auto_gc: Optional[int] = None,
         cache_limit: Optional[int] = None,
@@ -68,6 +69,12 @@ class SymbolicFsm:
         self.stats = EngineStats()
         if tracer is not None:
             self.stats.tracer = tracer
+        # An Elaboration (repro.blifmv.elaborate) switches on shared-shape
+        # encoding: each distinct subcircuit shape is table-encoded once
+        # and other instances are instantiated by variable substitution.
+        elaboration = model if isinstance(model, Elaboration) else None
+        if elaboration is not None:
+            model = elaboration.flat
         with self.stats.phase("encode"):
             self.network: EncodedNetwork = encode(
                 model,
@@ -76,6 +83,8 @@ class SymbolicFsm:
                 cache_limit=cache_limit,
                 auto_reorder=auto_reorder,
                 order=order,
+                elaboration=elaboration,
+                stats=self.stats,
             )
         self.mdd: MddManager = self.network.mdd
         self.bdd: BDD = self.mdd.bdd
@@ -197,7 +206,8 @@ class SymbolicFsm:
         """
         with self.stats.phase("build_tr"):
             result = multiply_and_quantify(
-                self.bdd, self.conjuncts, self.nonstate_bits(), method=method
+                self.bdd, self.conjuncts, self.nonstate_bits(), method=method,
+                groups=self.network.conjunct_groups,
             )
         self.trans = result.node
         self.quantify_result = result
@@ -248,7 +258,13 @@ class SymbolicFsm:
             quantify -= keep
             supports = [c.support for c in self.conjuncts]
             supports.append(frozenset(self.x_bits()))
-            self._part_plan = plan_schedule(supports, quantify)
+            # Instance conjunct groups (shared-shape encode) cluster each
+            # instance's private wires inside the instance first; monitor
+            # conjuncts and the frontier slot are appended after the
+            # network's conjuncts, so the recorded indices stay valid.
+            self._part_plan = plan_schedule(
+                supports, quantify, groups=self.network.conjunct_groups
+            )
             self.stats.bump("partitioned_plans_built")
             if self.stats.tracer.enabled:
                 self.stats.tracer.instant(

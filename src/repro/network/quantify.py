@@ -34,7 +34,7 @@ BDD operations at all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bdd.manager import BDD
 
@@ -81,11 +81,16 @@ def multiply_and_quantify(
     conjuncts: Sequence[Conjunct],
     quantify: Set[int],
     method: str = "greedy",
+    groups: Optional[Sequence[Sequence[int]]] = None,
 ) -> QuantifyResult:
     """Conjoin ``conjuncts`` and existentially quantify ``quantify``.
 
     ``quantify`` is a set of boolean variable indices.  Variables in
     ``quantify`` that appear in no conjunct are vacuous and ignored.
+    ``groups`` (optional, greedy only) lists conjunct index groups —
+    e.g. the conjuncts of one hierarchy instance — that are clustered
+    first, eliminating each group's private variables inside the group
+    before the global elimination runs (see :func:`plan_schedule`).
     """
     if method not in METHODS:
         raise ValueError(f"unknown scheduling method {method!r}; want one of {METHODS}")
@@ -103,6 +108,11 @@ def multiply_and_quantify(
             result = _monolithic(bdd, pool, quantify)
         elif method == "linear":
             result = _linear(bdd, pool, quantify)
+        elif groups:
+            schedule = plan_schedule(
+                [c.support for c in pool], quantify, groups=groups
+            )
+            result = execute_schedule(bdd, [c.node for c in pool], schedule)
         else:
             result = _greedy(bdd, pool, quantify)
         span.add(peak_size=result.peak_size, result_size=bdd.size(result.node))
@@ -296,7 +306,9 @@ class ImageSchedule:
 
 
 def plan_schedule(
-    supports: Sequence[FrozenSet[int]], quantify: Set[int]
+    supports: Sequence[FrozenSet[int]],
+    quantify: Set[int],
+    groups: Optional[Sequence[Sequence[int]]] = None,
 ) -> ImageSchedule:
     """Plan a greedy multiply-and-quantify from supports alone.
 
@@ -308,17 +320,59 @@ def plan_schedule(
     scheduled once every conjunct that *could* mention it has been
     merged; quantifying a variable absent from the product is the
     identity).
+
+    ``groups`` (optional) lists slot-index groups that should be
+    clustered first — e.g. the conjuncts of one hierarchy instance
+    (:attr:`EncodedNetwork.conjunct_groups`).  For each group, every
+    quantifiable variable mentioned *only* inside that group (an
+    instance-private wire) is eliminated within the group before the
+    global phase runs over the per-group products plus the ungrouped
+    slots.  On replicated designs the groups are isomorphic, so each
+    instance collapses to the same small cross-instance interface and
+    the global elimination never interleaves unrelated instances.
     """
     table: Dict[int, FrozenSet[int]] = {
         i: frozenset(s) for i, s in enumerate(supports)
     }
-    next_slot = len(table)
+    next_slot = [len(table)]
     by_var: Dict[int, Set[int]] = {}
     for slot, support in table.items():
         for v in support:
             by_var.setdefault(v, set()).add(slot)
-    pending = {v for v in quantify if by_var.get(v)}
     steps: List[PlanStep] = []
+    if groups:
+        for group in groups:
+            slots = {s for s in group if s in table}
+            if not slots:
+                continue
+            pending = {
+                v for v in quantify
+                if by_var.get(v) and by_var[v] <= slots
+            }
+            _plan_greedy_phase(
+                table, by_var, pending, steps, next_slot, allowed=slots
+            )
+    pending = {v for v in quantify if by_var.get(v)}
+    _plan_greedy_phase(table, by_var, pending, steps, next_slot, allowed=None)
+    tail = tuple(sorted(table, key=lambda slot: len(table[slot])))
+    return ImageSchedule(inputs=len(supports), steps=steps, tail=tail)
+
+
+def _plan_greedy_phase(
+    table: Dict[int, FrozenSet[int]],
+    by_var: Dict[int, Set[int]],
+    pending: Set[int],
+    steps: List[PlanStep],
+    next_slot: List[int],
+    allowed: Optional[Set[int]],
+) -> None:
+    """One greedy elimination phase over ``pending`` variables.
+
+    Mutates the shared planner state.  ``allowed`` (group phases)
+    restricts clustering to a slot set; merge results join it, so the
+    invariant ``by_var[v] <= allowed`` holds for the phase's pending
+    variables throughout.
+    """
     while pending:
         def cost(var: int) -> Tuple[int, int, int]:
             union: Set[int] = set()
@@ -341,7 +395,7 @@ def plan_schedule(
             PlanStep(
                 merge=tuple(ordered),
                 quantify=tuple(sorted(local)),
-                result=next_slot,
+                result=next_slot[0],
             )
         )
         merged = frozenset(union - local)
@@ -352,14 +406,14 @@ def plan_schedule(
                 if not ids:
                     del by_var[v]
             del table[slot]
-        table[next_slot] = merged
+        table[next_slot[0]] = merged
         for v in merged:
-            by_var.setdefault(v, set()).add(next_slot)
-        next_slot += 1
+            by_var.setdefault(v, set()).add(next_slot[0])
+        if allowed is not None:
+            allowed.add(next_slot[0])
+        next_slot[0] += 1
         pending -= local
         pending = {v for v in pending if by_var.get(v)}
-    tail = tuple(sorted(table, key=lambda slot: len(table[slot])))
-    return ImageSchedule(inputs=len(supports), steps=steps, tail=tail)
 
 
 def execute_schedule(

@@ -300,6 +300,7 @@ def run_case(
     stats: EngineStats,
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
+    shared_shapes: bool = False,
 ) -> List[Divergence]:
     """Cross-check one generated case end-to-end.  Engine exceptions are
     reported as ``crash`` divergences rather than raised.
@@ -309,7 +310,13 @@ def run_case(
     installs ordering-portfolio heuristic ``seed % K`` as the explicit
     variable order — deterministic round-robin rather than racing, so
     every candidate order faces the oracle across a sweep while
-    parallel and serial sweeps stay bit-identical."""
+    parallel and serial sweeps stay bit-identical.  ``shared_shapes``
+    additionally verifies a wrapper design instantiating the generated
+    model twice: the shared-shape elaboration (second instance built by
+    BDD substitution, never table-encoded) must reach exactly the same
+    state set as a plain flatten of the identical wrapper — the
+    flattened path is itself oracle-validated by the rest of the trial
+    (see docs/hierarchy.md)."""
     divergences: List[Divergence] = []
     model = case["model"]
     order = None
@@ -435,10 +442,95 @@ def run_case(
             for problem in problems:
                 divergences.append(Divergence("trace", seed, problem))
 
+    # -- shared-shape replica (optional) -------------------------------
+    if shared_shapes:
+        with stats.phase("fuzz.shapes"):
+            divergences.extend(
+                _shared_shape_replica_check(
+                    case, seed, stats, auto_reorder=auto_reorder,
+                )
+            )
+
     # Fold the per-trial engines' own phase timers (encode, build_tr,
     # reach, mc, lc) into the sweep-level collector.
     stats.merge(fsm.stats)
     stats.merge(lc_fsm.stats)
+    return divergences
+
+
+def _shared_shape_replica_check(
+    case: dict,
+    seed: int,
+    stats: EngineStats,
+    auto_reorder: Optional[int] = None,
+) -> List[Divergence]:
+    """Verify shared-shape elaboration on a two-instance replica design.
+
+    A wrapper model instantiates the generated model twice with all
+    ports dangling.  The same wrapper is run twice — once through
+    shape-aware :func:`elaborate` (the second instance is never
+    table-encoded, only substituted) and once through plain
+    :func:`flatten` — and the two reachable state sets must agree
+    exactly.  The flattened path is oracle-validated by the rest of the
+    trial, so parity here pins substitution correctness on every fuzz
+    seed.  (Note the product's reachable set is *not* simply ``R x R``:
+    synchronous copies can only pair states reachable at a common exact
+    depth, so an oracle-derived count would be wrong in general.)
+    """
+    from repro.blifmv import Design
+    from repro.blifmv.hierarchy import elaborate, flatten
+    from repro.blifmv.ast import Model, Subckt
+
+    model = case["model"]
+    divergences: List[Divergence] = []
+    top = Model(name="replica_top")
+    top.subckts.append(Subckt(model=model.name, instance="a", connections={}))
+    top.subckts.append(Subckt(model=model.name, instance="b", connections={}))
+    design = Design(models={"replica_top": top, model.name: model},
+                    root="replica_top")
+    elab = elaborate(design)
+    shared = SymbolicFsm(elab, tracer=stats.tracer, auto_reorder=auto_reorder)
+    shared.build_transition(method=case["build_method"])
+    shared_reach = shared.reachable(partitioned=case["partitioned"])
+    shared_count = shared.count_states(shared_reach.reached)
+
+    plain = SymbolicFsm(
+        flatten(design), tracer=stats.tracer, auto_reorder=auto_reorder
+    )
+    plain.build_transition(method=case["build_method"])
+    plain_reach = plain.reachable(partitioned=case["partitioned"])
+    plain_count = plain.count_states(plain_reach.reached)
+
+    latch_names = [latch.output for latch in elab.flat.latches]
+    shared_states = decode_states(shared, shared_reach.reached, latch_names)
+    plain_states = decode_states(plain, plain_reach.reached, latch_names)
+    if shared_states != plain_states:
+        divergences.append(
+            Divergence(
+                "shapes", seed,
+                f"replica reachable sets differ: shared-only "
+                f"{_fmt_states(shared_states - plain_states)}, flatten-only "
+                f"{_fmt_states(plain_states - shared_states)}",
+            )
+        )
+    elif shared_count != plain_count:
+        divergences.append(
+            Divergence(
+                "shapes", seed,
+                f"replica state counts differ: shared-shape {shared_count}, "
+                f"plain flatten {plain_count}",
+            )
+        )
+    if shared.network.instances_substituted < 1:
+        divergences.append(
+            Divergence(
+                "shapes", seed,
+                "replica design encoded without any instance substitution "
+                f"(shapes_encoded={shared.network.shapes_encoded})",
+            )
+        )
+    stats.merge(shared.stats)
+    stats.merge(plain.stats)
     return divergences
 
 
@@ -448,10 +540,12 @@ def _safe_run_case(
     stats: EngineStats,
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
+    shared_shapes: bool = False,
 ) -> List[Divergence]:
     try:
         return run_case(
-            case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio
+            case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio,
+            shared_shapes=shared_shapes,
         )
     except Exception:
         tail = traceback.format_exc().strip().splitlines()[-1]
@@ -478,6 +572,7 @@ def run_trial(
     keep_case: bool = False,
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
+    shared_shapes: bool = False,
 ) -> TrialReport:
     """One full differential trial from one seed."""
     stats = stats if stats is not None else EngineStats()
@@ -491,7 +586,8 @@ def run_trial(
         case = gen_case(_case_rng(seed), max_space=max_space)
     divergences.extend(
         _safe_run_case(
-            case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio
+            case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio,
+            shared_shapes=shared_shapes,
         )
     )
     return TrialReport(
@@ -508,13 +604,14 @@ def _shrink_and_describe(
     areas: Set[str],
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
+    shared_shapes: bool = False,
 ) -> dict:
     """Minimize a failing case while any of ``areas`` keeps diverging."""
 
     def still_fails(candidate: dict) -> bool:
         found = _safe_run_case(
             candidate, seed, EngineStats(), auto_reorder=auto_reorder,
-            portfolio=portfolio,
+            portfolio=portfolio, shared_shapes=shared_shapes,
         )
         return any(d.area in areas for d in found)
 
@@ -575,6 +672,7 @@ def run_sweep(
     progress=None,
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
+    shared_shapes: bool = False,
 ) -> SweepReport:
     """Run ``trials`` seeded trials; shrink and record any divergence."""
     stats = stats if stats is not None else EngineStats()
@@ -586,6 +684,7 @@ def run_sweep(
             report = run_trial(
                 seed, stats=stats, max_space=max_space, keep_case=True,
                 auto_reorder=auto_reorder, portfolio=portfolio,
+                shared_shapes=shared_shapes,
             )
             span.add(divergences=len(report.divergences))
         sweep.reports.append(report)
@@ -599,6 +698,7 @@ def run_sweep(
                     case = _shrink_and_describe(
                         case, seed, areas - {"bddops"},
                         auto_reorder=auto_reorder, portfolio=portfolio,
+                        shared_shapes=shared_shapes,
                     )
             path = write_corpus_entry(
                 corpus_dir, seed, areas, case,

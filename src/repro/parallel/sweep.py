@@ -45,6 +45,7 @@ def _sweep_chunk_worker(
     trace: bool = False,
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
+    shared_shapes: bool = False,
 ) -> TaskResult:
     """Worker body: one contiguous sub-sweep, exactly the serial code.
 
@@ -64,6 +65,7 @@ def _sweep_chunk_worker(
         max_space=max_space,
         auto_reorder=auto_reorder,
         portfolio=portfolio,
+        shared_shapes=shared_shapes,
     )
     for trial in report.reports:
         trial.case = None  # cases are large and the parent never reads them
@@ -84,6 +86,7 @@ def run_sweep_parallel(
     pool: Optional[WorkerPool] = None,
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
+    shared_shapes: bool = False,
 ) -> SweepReport:
     """Fan a seeded sweep across ``jobs`` workers; merge in seed order.
 
@@ -102,7 +105,7 @@ def run_sweep_parallel(
             task_id=f"fuzz[{chunk_seed0}+{chunk_count}]",
             fn=_sweep_chunk_worker,
             args=(chunk_count, chunk_seed0, corpus_dir, shrink, max_space,
-                  trace, auto_reorder, portfolio),
+                  trace, auto_reorder, portfolio, shared_shapes),
             timeout=timeout,
         )
         for chunk_seed0, chunk_count in chunks

@@ -25,15 +25,23 @@ from repro.perf import EngineStats
 from repro.trace.tracer import Tracer
 
 
-def _parse_design(design_kind: str, design_text: str):
-    """Resolved design text -> flat model (verilog via vl2mv, or mv)."""
-    from repro.blifmv import flatten, parse as parse_blifmv
+def _parse_design(design_kind: str, design_text: str,
+                  shared_shapes: bool = False):
+    """Resolved design text -> flat model (verilog via vl2mv, or mv).
+
+    With ``shared_shapes`` the result is an
+    :class:`~repro.blifmv.Elaboration` (shape-aware encoding; the
+    engine accepts either form).
+    """
+    from repro.blifmv import elaborate, flatten, parse as parse_blifmv
     from repro.verilog import compile_verilog
 
     if design_kind == "verilog":
         design = compile_verilog(design_text)
     else:
         design = parse_blifmv(design_text)
+    if shared_shapes:
+        return elaborate(design)
     return flatten(design)
 
 
@@ -56,7 +64,10 @@ def run_check_job(
     from repro.network import SymbolicFsm
     from repro.pif import parse_pif
 
-    flat = _parse_design(design_kind, design_text)
+    flat = _parse_design(
+        design_kind, design_text,
+        shared_shapes=bool(knobs.get("shared_shapes")),
+    )
     pif = parse_pif(pif_text or "", source="<submission>")
     if not pif.ctl_props:
         raise ValueError("no CTL properties in the submitted PIF text")
@@ -163,6 +174,7 @@ def run_fuzz_job(knobs: Dict[str, Any], trace: bool = False) -> TaskResult:
         seed0=knobs["seed"],
         stats=stats,
         auto_reorder=knobs.get("auto_reorder"),
+        shared_shapes=bool(knobs.get("shared_shapes")),
     )
     stats.bump("serve.fuzz_trials", sweep.trials)
     return TaskResult(
@@ -191,7 +203,10 @@ def run_profile_job(
     from repro.network import SymbolicFsm
     from repro.pif import parse_pif
 
-    flat = _parse_design(design_kind, design_text)
+    flat = _parse_design(
+        design_kind, design_text,
+        shared_shapes=bool(knobs.get("shared_shapes")),
+    )
     fsm = SymbolicFsm(
         flat,
         auto_reorder=knobs.get("auto_reorder"),

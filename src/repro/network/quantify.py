@@ -124,6 +124,43 @@ def _safe_point(bdd: BDD, pool: Iterable[Conjunct], *extra: int) -> None:
     bdd.maybe_gc(extra_roots=[c.node for c in pool] + list(extra))
 
 
+def _reduce_and(
+    bdd: BDD, result: QuantifyResult, lists: List[List[int]]
+) -> List[int]:
+    """Tree-AND every operand list to one node, batching across lists.
+
+    Each round pairs adjacent operands within every list and issues all
+    pairs as a single :meth:`BDD.apply_many` frontier, recording every
+    intermediate product in ``result.peak_size``.  The reduction shape
+    is fixed regardless of ``batch_apply`` (the kernel merely executes
+    it scalar when the knob is off), so both settings build identical
+    op DAGs.  Empty lists reduce to TRUE.  For lists of up to three
+    operands the tree is the same left fold the scalar schedulers used.
+    """
+    pending = [list(l) for l in lists]
+    while True:
+        pairs: List[Tuple[int, int]] = []
+        slots: List[Tuple[int, int]] = []
+        nxt: List[List[int]] = []
+        for i, l in enumerate(pending):
+            nl: List[int] = []
+            j = 0
+            while j + 1 < len(l):
+                slots.append((i, len(nl)))
+                pairs.append((l[j], l[j + 1]))
+                nl.append(-1)
+                j += 2
+            if j < len(l):
+                nl.append(l[j])
+            nxt.append(nl)
+        if not pairs:
+            return [l[0] if l else bdd.true for l in pending]
+        for (i, p), r in zip(slots, bdd.apply_many("and", pairs)):
+            nxt[i][p] = r
+            result.peak_size = max(result.peak_size, bdd.size(r))
+        pending = nxt
+
+
 def _record_step(
     bdd: BDD,
     result: QuantifyResult,
@@ -223,14 +260,13 @@ def _greedy(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResul
             if by_var.get(v) and by_var[v] <= cluster_id_set
         }
         cluster.sort(key=lambda c: len(c.support))
-        product = cluster[0].node
-        for c in cluster[1:-1]:
-            product = bdd.and_(product, c.node)
-            result.peak_size = max(result.peak_size, bdd.size(product))
         if len(cluster) > 1:
+            [product] = _reduce_and(
+                bdd, result, [[c.node for c in cluster[:-1]]]
+            )
             product = bdd.and_exists(product, cluster[-1].node, sorted(local))
         else:
-            product = bdd.exist(sorted(local), product)
+            product = bdd.exist(sorted(local), cluster[0].node)
         size = bdd.size(product)
         result.peak_size = max(result.peak_size, size)
         _record_step(
@@ -259,10 +295,7 @@ def _greedy(bdd: BDD, pool: List[Conjunct], quantify: Set[int]) -> QuantifyResul
         _safe_point(bdd, table.values())
     # Conjoin whatever is left (no quantifiable variables remain).
     live = sorted(table.values(), key=lambda c: len(c.support))
-    product = bdd.true
-    for c in live:
-        product = bdd.and_(product, c.node)
-        result.peak_size = max(result.peak_size, bdd.size(product))
+    [product] = _reduce_and(bdd, result, [[c.node for c in live]])
     _safe_point(bdd, live, product)
     if live:
         _record_step(
@@ -424,6 +457,14 @@ def execute_schedule(
     ``nodes[i]`` fills input slot ``i``; the slot count must match the
     plan.  No scheduling decisions are made here — this is the cheap
     per-iteration half of a plan-once/run-many partitioned image.
+
+    Steps execute in dependency *waves*: every step whose merge slots
+    are all filled is issued together — the merge prefixes tree-reduce
+    jointly through :func:`_reduce_and` and the fused relational
+    products go out as one :meth:`BDD.and_exists_many` frontier.  The
+    wave structure (and therefore every intermediate product and the
+    recorded peak) is identical whether the kernel runs it batched or
+    scalar; GC safe-points sit between waves, never inside one.
     """
     if len(nodes) != schedule.inputs:
         raise ValueError(
@@ -431,30 +472,34 @@ def execute_schedule(
         )
     result = QuantifyResult(node=bdd.true, peak_size=1)
     slots: Dict[int, int] = dict(enumerate(nodes))
-    for step in schedule.steps:
-        parts = [slots[i] for i in step.merge]
-        if len(parts) == 1:
-            product = bdd.exist(list(step.quantify), parts[0])
-        else:
-            product = parts[0]
-            for node in parts[1:-1]:
-                product = bdd.and_(product, node)
-                result.peak_size = max(result.peak_size, bdd.size(product))
-            product = bdd.and_exists(product, parts[-1], list(step.quantify))
-        size = bdd.size(product)
-        result.peak_size = max(result.peak_size, size)
-        _record_step(
+    remaining = list(schedule.steps)
+    while remaining:
+        ready = [s for s in remaining if all(i in slots for i in s.merge)]
+        if not ready:  # defensive: a well-formed plan always progresses
+            raise ValueError("image schedule has an unsatisfiable step")
+        remaining = [s for s in remaining if not all(i in slots for i in s.merge)]
+        # exists vars . (s_0 & ... & s_k-2) & s_k-1, one request per step;
+        # single-slot merges degenerate to exists vars . TRUE & s_0.
+        prefixes = _reduce_and(
             bdd, result,
-            tuple(f"s{i}" for i in step.merge), step.quantify, size,
+            [[slots[i] for i in step.merge[:-1]] for step in ready],
         )
-        for i in step.merge:
-            del slots[i]
-        slots[step.result] = product
+        products = bdd.and_exists_many(
+            (prefix, slots[step.merge[-1]], step.quantify)
+            for step, prefix in zip(ready, prefixes)
+        )
+        for step, product in zip(ready, products):
+            size = bdd.size(product)
+            result.peak_size = max(result.peak_size, size)
+            _record_step(
+                bdd, result,
+                tuple(f"s{i}" for i in step.merge), step.quantify, size,
+            )
+            for i in step.merge:
+                del slots[i]
+            slots[step.result] = product
         bdd.maybe_gc(extra_roots=list(slots.values()))
-    product = bdd.true
-    for i in schedule.tail:
-        product = bdd.and_(product, slots[i])
-        result.peak_size = max(result.peak_size, bdd.size(product))
+    [product] = _reduce_and(bdd, result, [[slots[i] for i in schedule.tail]])
     bdd.maybe_gc(extra_roots=list(slots.values()) + [product])
     result.node = product
     return result

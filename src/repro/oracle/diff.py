@@ -123,7 +123,10 @@ class SweepReport:
 
 
 def bddops_trial(
-    rng: random.Random, seed: int, auto_reorder: Optional[int] = None
+    rng: random.Random,
+    seed: int,
+    auto_reorder: Optional[int] = None,
+    batch_apply: Optional[bool] = None,
 ) -> List[Divergence]:
     """Grow a random operation DAG, verifying every node exhaustively.
 
@@ -136,7 +139,7 @@ def bddops_trial(
     divergences: List[Divergence] = []
     n = rng.choice([4, 5])
     bdd = BDD(cache_limit=rng.choice([None, None, 512]),
-              auto_reorder=auto_reorder)
+              auto_reorder=auto_reorder, batch_apply=batch_apply)
     for j in range(n):
         bdd.add_var(f"v{j}")
     all_vars = list(range(n))
@@ -301,6 +304,7 @@ def run_case(
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
     shared_shapes: bool = False,
+    batch_apply: Optional[bool] = None,
 ) -> List[Divergence]:
     """Cross-check one generated case end-to-end.  Engine exceptions are
     reported as ``crash`` divergences rather than raised.
@@ -332,7 +336,7 @@ def run_case(
     # -- reachability --------------------------------------------------
     with stats.phase("fuzz.reach"):
         fsm = SymbolicFsm(model, tracer=stats.tracer, auto_reorder=auto_reorder,
-                          order=order)
+                          order=order, batch_apply=batch_apply)
         fsm.build_transition(method=case["build_method"])
         reach = fsm.reachable(partitioned=case["partitioned"])
         sym_reached = decode_states(fsm, reach.reached, latch_names)
@@ -412,7 +416,7 @@ def run_case(
         automaton = automaton_from_desc(case["automaton"])
         lc_fsm = SymbolicFsm(
             model, tracer=stats.tracer, auto_reorder=auto_reorder,
-            order=order,
+            order=order, batch_apply=batch_apply,
         )
         lc_spec = fairness_spec_from_descs(lc_fsm, case["fairness"])
         lc = check_containment(
@@ -448,6 +452,7 @@ def run_case(
             divergences.extend(
                 _shared_shape_replica_check(
                     case, seed, stats, auto_reorder=auto_reorder,
+                    batch_apply=batch_apply,
                 )
             )
 
@@ -463,6 +468,7 @@ def _shared_shape_replica_check(
     seed: int,
     stats: EngineStats,
     auto_reorder: Optional[int] = None,
+    batch_apply: Optional[bool] = None,
 ) -> List[Divergence]:
     """Verify shared-shape elaboration on a two-instance replica design.
 
@@ -489,13 +495,15 @@ def _shared_shape_replica_check(
     design = Design(models={"replica_top": top, model.name: model},
                     root="replica_top")
     elab = elaborate(design)
-    shared = SymbolicFsm(elab, tracer=stats.tracer, auto_reorder=auto_reorder)
+    shared = SymbolicFsm(elab, tracer=stats.tracer, auto_reorder=auto_reorder,
+                         batch_apply=batch_apply)
     shared.build_transition(method=case["build_method"])
     shared_reach = shared.reachable(partitioned=case["partitioned"])
     shared_count = shared.count_states(shared_reach.reached)
 
     plain = SymbolicFsm(
-        flatten(design), tracer=stats.tracer, auto_reorder=auto_reorder
+        flatten(design), tracer=stats.tracer, auto_reorder=auto_reorder,
+        batch_apply=batch_apply,
     )
     plain.build_transition(method=case["build_method"])
     plain_reach = plain.reachable(partitioned=case["partitioned"])
@@ -541,11 +549,12 @@ def _safe_run_case(
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
     shared_shapes: bool = False,
+    batch_apply: Optional[bool] = None,
 ) -> List[Divergence]:
     try:
         return run_case(
             case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio,
-            shared_shapes=shared_shapes,
+            shared_shapes=shared_shapes, batch_apply=batch_apply,
         )
     except Exception:
         tail = traceback.format_exc().strip().splitlines()[-1]
@@ -573,6 +582,7 @@ def run_trial(
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
     shared_shapes: bool = False,
+    batch_apply: Optional[bool] = None,
 ) -> TrialReport:
     """One full differential trial from one seed."""
     stats = stats if stats is not None else EngineStats()
@@ -580,14 +590,15 @@ def run_trial(
     divergences: List[Divergence] = []
     with stats.phase("fuzz.bddops"):
         divergences.extend(
-            bddops_trial(_ops_rng(seed), seed, auto_reorder=auto_reorder)
+            bddops_trial(_ops_rng(seed), seed, auto_reorder=auto_reorder,
+                         batch_apply=batch_apply)
         )
     with stats.phase("fuzz.gen"):
         case = gen_case(_case_rng(seed), max_space=max_space)
     divergences.extend(
         _safe_run_case(
             case, seed, stats, auto_reorder=auto_reorder, portfolio=portfolio,
-            shared_shapes=shared_shapes,
+            shared_shapes=shared_shapes, batch_apply=batch_apply,
         )
     )
     return TrialReport(
@@ -605,6 +616,7 @@ def _shrink_and_describe(
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
     shared_shapes: bool = False,
+    batch_apply: Optional[bool] = None,
 ) -> dict:
     """Minimize a failing case while any of ``areas`` keeps diverging."""
 
@@ -612,6 +624,7 @@ def _shrink_and_describe(
         found = _safe_run_case(
             candidate, seed, EngineStats(), auto_reorder=auto_reorder,
             portfolio=portfolio, shared_shapes=shared_shapes,
+            batch_apply=batch_apply,
         )
         return any(d.area in areas for d in found)
 
@@ -673,6 +686,7 @@ def run_sweep(
     auto_reorder: Optional[int] = None,
     portfolio: Optional[int] = None,
     shared_shapes: bool = False,
+    batch_apply: Optional[bool] = None,
 ) -> SweepReport:
     """Run ``trials`` seeded trials; shrink and record any divergence."""
     stats = stats if stats is not None else EngineStats()
@@ -684,7 +698,7 @@ def run_sweep(
             report = run_trial(
                 seed, stats=stats, max_space=max_space, keep_case=True,
                 auto_reorder=auto_reorder, portfolio=portfolio,
-                shared_shapes=shared_shapes,
+                shared_shapes=shared_shapes, batch_apply=batch_apply,
             )
             span.add(divergences=len(report.divergences))
         sweep.reports.append(report)
@@ -698,7 +712,7 @@ def run_sweep(
                     case = _shrink_and_describe(
                         case, seed, areas - {"bddops"},
                         auto_reorder=auto_reorder, portfolio=portfolio,
-                        shared_shapes=shared_shapes,
+                        shared_shapes=shared_shapes, batch_apply=batch_apply,
                     )
             path = write_corpus_entry(
                 corpus_dir, seed, areas, case,

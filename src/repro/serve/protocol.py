@@ -64,14 +64,15 @@ KINDS = ("check", "fuzz", "profile")
 #: any knob that changes the computation changes the key.
 KNOB_DEFAULTS: Dict[str, Dict[str, Any]] = {
     "check": {"auto_gc": None, "cache_limit": None, "auto_reorder": None,
-              "portfolio": None, "shared_shapes": True},
+              "portfolio": None, "shared_shapes": True, "batch_apply": None},
     "fuzz": {"trials": 25, "seed": 0, "auto_reorder": None,
-             "shared_shapes": False},
+             "shared_shapes": False, "batch_apply": None},
     "profile": {"method": "greedy", "partitioned": False,
-                "auto_reorder": None, "shared_shapes": True},
+                "auto_reorder": None, "shared_shapes": True,
+                "batch_apply": None},
 }
 
-_BOOL_KNOBS = {"partitioned", "shared_shapes"}
+_BOOL_KNOBS = {"partitioned", "shared_shapes", "batch_apply"}
 _STR_KNOBS = {"method"}
 
 
